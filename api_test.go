@@ -1,0 +1,115 @@
+package flashwalker
+
+import "testing"
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := GenerateRMAT(2048, 16384, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DatasetByName("TT-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Borrow the dataset's scaled config shape but run on our own graph.
+	rc := DefaultRunConfig(d, AllOptions(), 500, 1)
+	res, err := Simulate(g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WalksFinished() != 500 {
+		t.Fatalf("finished %d of 500", res.WalksFinished())
+	}
+
+	bl, err := SimulateBaseline(g, DefaultBaselineConfig(d, BaselineMem8GB, 1), rc.Spec, 500, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.WalksFinished() != 500 {
+		t.Fatalf("baseline finished %d", bl.WalksFinished())
+	}
+	if res.Time >= bl.Time {
+		t.Errorf("FlashWalker (%v) not faster than baseline (%v)", res.Time, bl.Time)
+	}
+}
+
+func TestPublicAPIReferenceWalks(t *testing.T) {
+	g, err := GeneratePowerLaw(1024, 8192, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := WalkSpec{Kind: Unbiased, Length: 6}
+	paths := 0
+	st, err := RunWalks(g, spec, 200, 3, func(i int, path []VertexID) { paths++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Started != 200 || paths != 200 {
+		t.Fatalf("started %d, traced %d", st.Started, paths)
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	g, _ := GenerateRMAT(128, 512, 4)
+	path := t.TempDir() + "/g.bin"
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed graph")
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	bb := NewGraphBuilder(8)
+	bb.AddEdge(0, 1)
+	bb.AddWeightedEdge(1, 2, 3)
+	g, err := bb.Build()
+	if err != nil || g.OutDegree(0) != 1 || !g.Weighted() {
+		t.Fatal("builder alias broken")
+	}
+}
+
+func TestPublicAPITracingAndEnergy(t *testing.T) {
+	g, _ := GenerateRMAT(1024, 8192, 5)
+	d, _ := DatasetByName("FS-S")
+	rec := NewTraceRecorder()
+	rc := DefaultRunConfig(d, AllOptions(), 300, 1)
+	rc.Tracer = rec
+	res, err := Simulate(g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no trace events")
+	}
+	e := EstimateEnergy(res)
+	if e.Total() <= 0 {
+		t.Fatal("no energy estimated")
+	}
+}
+
+func TestPublicAPIDatasets(t *testing.T) {
+	if len(Datasets()) != 5 {
+		t.Fatal("dataset registry")
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestPublicAPISecondOrder(t *testing.T) {
+	g, _ := GenerateRMAT(512, 8192, 6)
+	spec := WalkSpec{Kind: SecondOrder, Length: 6, P: 0.5, Q: 2}
+	st, err := RunWalks(g, spec, 100, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Started != 100 {
+		t.Fatal("second-order reference walks failed")
+	}
+}

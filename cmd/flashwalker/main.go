@@ -1,0 +1,137 @@
+// Command flashwalker runs the FlashWalker in-storage accelerator
+// simulation on a graph and prints the result.
+//
+// The graph comes either from a registered scaled dataset (-dataset) or
+// from a binary graph file written by gengraph (-graph).
+//
+// Examples:
+//
+//	flashwalker -dataset TT-S -walks 10000
+//	flashwalker -graph g.bin -walks 5000 -kind restart -stopprob 0.15
+//	flashwalker -dataset FS-S -walks 10000 -no-wq -no-hs -no-ss
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashwalker/internal/core"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/harness"
+	"flashwalker/internal/metrics"
+	"flashwalker/internal/trace"
+	"flashwalker/internal/walk"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "scaled dataset name (TT-S, FS-S, CW-S, R2B-S, R8B-S)")
+	graphPath := flag.String("graph", "", "binary graph file (alternative to -dataset)")
+	walks := flag.Int("walks", 10000, "number of walks")
+	length := flag.Uint("length", harness.WalkLength, "walk length (hops)")
+	kind := flag.String("kind", "unbiased", "walk kind: unbiased, biased, restart")
+	stopProb := flag.Float64("stopprob", 0.15, "per-hop stop probability for -kind restart")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	noWQ := flag.Bool("no-wq", false, "disable the walk query optimization")
+	noHS := flag.Bool("no-hs", false, "disable hot subgraphs")
+	noSS := flag.Bool("no-ss", false, "disable score-based subgraph scheduling")
+	subgraph := flag.Int64("subgraph", 4096, "graph block size in bytes (for -graph)")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	flag.Parse()
+
+	opts := core.Options{WalkQuery: !*noWQ, HotSubgraphs: !*noHS, SmartSchedule: !*noSS}
+	spec, err := parseSpec(*kind, uint32(*length), *stopProb)
+	if err != nil {
+		fail(err)
+	}
+
+	var g *graph.Graph
+	var rc core.RunConfig
+	switch {
+	case *dataset != "":
+		d, err := harness.DatasetByName(*dataset)
+		if err != nil {
+			fail(err)
+		}
+		if g, err = d.Graph(); err != nil {
+			fail(err)
+		}
+		rc = harness.FlashWalkerConfig(d, opts, *walks, *seed)
+	case *graphPath != "":
+		if g, err = graph.Load(*graphPath); err != nil {
+			fail(err)
+		}
+		d := harness.Dataset{Name: *graphPath, IDBytes: 4, SubgraphBytes: *subgraph}
+		rc = harness.FlashWalkerConfig(d, opts, *walks, *seed)
+	default:
+		fail(fmt.Errorf("one of -dataset or -graph is required"))
+	}
+	rc.Spec = spec
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tw := trace.NewWriter(f)
+		rc.Tracer = tw
+		defer func() {
+			if tw.Err() != nil {
+				fmt.Fprintln(os.Stderr, "flashwalker: trace write:", tw.Err())
+			}
+		}()
+	}
+
+	e, err := core.NewEngine(g, rc)
+	if err != nil {
+		fail(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		fail(err)
+	}
+	printResult(res)
+}
+
+func parseSpec(kind string, length uint32, stopProb float64) (walk.Spec, error) {
+	switch kind {
+	case "unbiased":
+		return walk.Spec{Kind: walk.Unbiased, Length: length}, nil
+	case "biased":
+		return walk.Spec{Kind: walk.Biased, Length: length}, nil
+	case "restart":
+		return walk.Spec{Kind: walk.Restart, Length: length, StopProb: stopProb}, nil
+	default:
+		return walk.Spec{}, fmt.Errorf("unknown walk kind %q", kind)
+	}
+}
+
+func printResult(r *core.Result) {
+	fmt.Printf("simulated time        %v\n", r.Time)
+	fmt.Printf("walks                 %d started, %d completed, %d dead-ended\n",
+		r.Started, r.Completed, r.DeadEnded)
+	fmt.Printf("hops                  %d (%.2fM hops/s)\n", r.Hops, r.HopRate()/1e6)
+	fmt.Printf("flash read            %s (%d pages)\n", metrics.FormatBytes(r.Flash.ReadBytes), r.Flash.ReadPages)
+	fmt.Printf("flash written         %s (%d pages)\n", metrics.FormatBytes(r.Flash.WriteBytes), r.Flash.ProgramPages)
+	fmt.Printf("channel-bus traffic   %s\n", metrics.FormatBytes(r.Flash.ChannelBytes))
+	fmt.Printf("subgraph loads        %d (%d buffer-resident)\n", r.SubgraphLoads, r.SubgraphReloads)
+	fmt.Printf("roving walks          %d in %d batches\n", r.RovingWalks, r.RovingTransfers)
+	fmt.Printf("updates: chip         %d\n", r.ChipUpdates)
+	fmt.Printf("updates: channel hot  %d\n", r.HotHitsChannel)
+	fmt.Printf("updates: board hot    %d\n", r.HotHitsBoard)
+	fmt.Printf("pre-walks (dense)     %d\n", r.PreWalks)
+	fmt.Printf("query cache hit rate  %.1f%% (%d hits, %d misses)\n",
+		100*r.QueryCacheHitRate(), r.QueryCacheHits, r.QueryCacheMisses)
+	fmt.Printf("PWB overflows         %d\n", r.PWBOverflows)
+	fmt.Printf("foreigner walks       %d (%d flushes)\n", r.ForeignerWalks, r.ForeignerFlushes)
+	fmt.Printf("partition switches    %d\n", r.PartitionSwitches)
+	fmt.Printf("chip updater util     %.1f%% mean / %.1f%% max\n",
+		100*r.ChipUpdaterUtil, 100*r.ChipUpdaterUtilMax)
+	fmt.Printf("channel bus util max  %.1f%%\n", 100*r.ChannelBusUtilMax)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "flashwalker:", err)
+	os.Exit(1)
+}

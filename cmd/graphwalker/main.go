@@ -1,0 +1,79 @@
+// Command graphwalker runs the GraphWalker (ATC'20) baseline model on a
+// graph and prints its result and time breakdown.
+//
+// Examples:
+//
+//	graphwalker -dataset CW-S -walks 10000 -mem 2097152
+//	graphwalker -graph g.bin -walks 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashwalker/internal/baseline"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/harness"
+	"flashwalker/internal/metrics"
+	"flashwalker/internal/walk"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "scaled dataset name (TT-S, FS-S, CW-S, R2B-S, R8B-S)")
+	graphPath := flag.String("graph", "", "binary graph file (alternative to -dataset)")
+	walks := flag.Int("walks", 10000, "number of walks")
+	length := flag.Uint("length", harness.WalkLength, "walk length (hops)")
+	mem := flag.Int64("mem", harness.GWMem8GB, "host memory bytes for graph blocks (scaled: 1MiB=4GB, 2MiB=8GB, 4MiB=16GB)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	spec := walk.Spec{Kind: walk.Unbiased, Length: uint32(*length)}
+
+	var g *graph.Graph
+	var cfg baseline.Config
+	var err error
+	switch {
+	case *dataset != "":
+		d, derr := harness.DatasetByName(*dataset)
+		if derr != nil {
+			fail(derr)
+		}
+		if g, err = d.Graph(); err != nil {
+			fail(err)
+		}
+		cfg = harness.GraphWalkerConfig(d, *mem, *seed)
+	case *graphPath != "":
+		if g, err = graph.Load(*graphPath); err != nil {
+			fail(err)
+		}
+		cfg = harness.GraphWalkerConfig(harness.Dataset{IDBytes: 4}, *mem, *seed)
+	default:
+		fail(fmt.Errorf("one of -dataset or -graph is required"))
+	}
+
+	e, err := baseline.New(g, cfg, spec, *walks, *seed+100)
+	if err != nil {
+		fail(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("simulated time  %v\n", res.Time)
+	fmt.Printf("walks           %d started, %d completed, %d dead-ended\n",
+		res.Started, res.Completed, res.DeadEnded)
+	fmt.Printf("hops            %d\n", res.Hops)
+	fmt.Printf("block loads     %d (%s)\n", res.BlockLoads, metrics.FormatBytes(res.BlockBytes))
+	fmt.Printf("walk spills     %d (%s out, %s back)\n",
+		res.WalkSpills, metrics.FormatBytes(res.WalkSpillBytes), metrics.FormatBytes(res.WalkLoadBytes))
+	fmt.Printf("iterations      %d\n", res.Iterations)
+	fmt.Printf("PCIe traffic    %s\n", metrics.FormatBytes(res.Flash.HostBytes))
+	fmt.Printf("time breakdown (component busy time):\n%s", res.Breakdown.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "graphwalker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Command traceinfo summarizes a JSONL simulation trace produced by
+// `flashwalker -trace`.
+//
+// Usage:
+//
+//	traceinfo trace.jsonl
+//	flashwalker -dataset TT-S -walks 5000 -trace /dev/stdout | traceinfo -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"flashwalker/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo <trace.jsonl | ->")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if os.Args[1] == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := trace.ReadJSONL(r)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(trace.Summarize(events).String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

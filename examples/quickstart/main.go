@@ -1,0 +1,62 @@
+// Quickstart: build a small graph, run FlashWalker on it, and compare
+// against the GraphWalker baseline — the minimal end-to-end tour of the
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashwalker/internal/baseline"
+	"flashwalker/internal/core"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/harness"
+	"flashwalker/internal/metrics"
+	"flashwalker/internal/walk"
+)
+
+func main() {
+	// 1. Generate a skewed R-MAT graph (64 Ki edges).
+	g, err := graph.RMAT(graph.DefaultRMAT(8192, 65536, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	fmt.Printf("graph: %d vertices, %d edges, max out-degree %d, gini %.2f\n",
+		s.NumVertices, s.NumEdges, s.MaxOutDeg, s.GiniOut)
+
+	// 2. Describe the workload: 5000 unbiased walks of length 6 (the
+	//    paper's fixed walk length).
+	const numWalks = 5000
+	d := harness.Dataset{Name: "quickstart", IDBytes: 4, SubgraphBytes: 4 << 10}
+
+	// 3. Run FlashWalker (all optimizations on).
+	rc := harness.FlashWalkerConfig(d, core.AllOptions(), numWalks, 1)
+	eng, err := core.NewEngine(g, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFlashWalker:  %v  (%d hops, %s flash read, %s over channel buses)\n",
+		fw.Time, fw.Hops, metrics.FormatBytes(fw.Flash.ReadBytes),
+		metrics.FormatBytes(fw.Flash.ChannelBytes))
+
+	// 4. Run the GraphWalker baseline with a scaled 8 GB memory budget.
+	gwCfg := harness.GraphWalkerConfig(d, harness.GWMem8GB, 1)
+	spec := walk.Spec{Kind: walk.Unbiased, Length: harness.WalkLength}
+	bl, err := baseline.New(g, gwCfg, spec, numWalks, 101)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gw, err := bl.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GraphWalker:  %v  (%d hops, %s over PCIe)\n",
+		gw.Time, gw.Hops, metrics.FormatBytes(gw.Flash.HostBytes))
+
+	fmt.Printf("\nspeedup: %.2fx\n", float64(gw.Time)/float64(fw.Time))
+}

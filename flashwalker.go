@@ -1,0 +1,20 @@
+// Package flashwalker is a simulation-based reproduction of
+// "FlashWalker: An In-Storage Accelerator for Graph Random Walks"
+// (Niu et al., IPDPS 2022).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the FlashWalker accelerator hierarchy (the paper's
+//     contribution)
+//   - internal/baseline — the GraphWalker (ATC'20) comparison system
+//   - internal/flash, internal/dram, internal/sim — the simulated SSD,
+//     DRAM and discrete-event substrate
+//   - internal/graph, internal/partition, internal/walk — graph data
+//     structures, graph-block partitioning, and walk algorithms
+//   - internal/harness — scaled datasets and the per-figure experiment
+//     runners
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation section; cmd/experiments does the same from the
+// command line at full scale.
+package flashwalker

@@ -1,0 +1,3 @@
+module flashwalker
+
+go 1.22

@@ -1,0 +1,107 @@
+// Package bloom implements the Bloom filter used by FlashWalker's dense
+// vertices mapping table (paper §III-D).
+//
+// The board-level walk guider consults the filter before the dense-vertex
+// hash table: a negative answer proves the vertex is not dense, so the
+// (much larger) subgraph mapping table is searched directly. A false
+// positive merely costs one wasted hash-table probe — correctness is
+// preserved, exactly as the paper argues.
+package bloom
+
+import "math"
+
+// Filter is a standard k-hash Bloom filter over uint64 keys.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+	added int
+	seed  uint64
+}
+
+// New creates a filter sized for n expected insertions at the target false
+// positive probability fp (0 < fp < 1). n must be >= 1.
+func New(n int, fp float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fp <= 0 {
+		fp = 1e-4
+	}
+	if fp >= 1 {
+		fp = 0.5
+	}
+	// Optimal bit count m = -n ln(fp) / (ln 2)^2, hashes k = (m/n) ln 2.
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{
+		bits:  make([]uint64, (m+63)/64),
+		nbits: m,
+		k:     k,
+		seed:  0x9e3779b97f4a7c15,
+	}
+}
+
+// mix is a 64-bit finalizer (Murmur3-style) applied per hash index.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// indexes derives the k bit positions with double hashing.
+func (f *Filter) indexes(key uint64, out []uint64) {
+	h1 := mix(key ^ f.seed)
+	h2 := mix(key + f.seed)
+	h2 |= 1 // ensure odd stride
+	for i := 0; i < f.k; i++ {
+		out[i] = (h1 + uint64(i)*h2) % f.nbits
+	}
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key uint64) {
+	var idx [16]uint64
+	f.indexes(key, idx[:f.k])
+	for _, b := range idx[:f.k] {
+		f.bits[b/64] |= 1 << (b % 64)
+	}
+	f.added++
+}
+
+// Contains reports whether key may have been added. False means definitely
+// not added; true may be a false positive.
+func (f *Filter) Contains(key uint64) bool {
+	var idx [16]uint64
+	f.indexes(key, idx[:f.k])
+	for _, b := range idx[:f.k] {
+		if f.bits[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Added reports how many keys have been inserted.
+func (f *Filter) Added() int { return f.added }
+
+// Bits reports the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.nbits }
+
+// Hashes reports the number of hash functions.
+func (f *Filter) Hashes() int { return f.k }
+
+// SizeBytes reports the memory footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }

@@ -1,0 +1,106 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flashwalker/internal/rng"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	r := rng.New(1)
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.Add(keys[i])
+	}
+	for i, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for key %d (#%d)", k, i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(10000, 0.01)
+	r := rng.New(2)
+	inserted := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		k := r.Uint64()
+		f.Add(k)
+		inserted[k] = true
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		k := r.Uint64()
+		if inserted[k] {
+			continue
+		}
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Allow 3x the design rate as slack.
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f exceeds 0.03", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(100, 0.01)
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		if f.Contains(r.Uint64()) {
+			t.Fatal("empty filter reported membership")
+		}
+	}
+}
+
+func TestAddedCount(t *testing.T) {
+	f := New(10, 0.01)
+	for i := uint64(0); i < 7; i++ {
+		f.Add(i)
+	}
+	if f.Added() != 7 {
+		t.Fatalf("Added = %d, want 7", f.Added())
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	for _, c := range []struct {
+		n  int
+		fp float64
+	}{{0, 0.01}, {10, 0}, {10, 1.5}, {-5, -1}} {
+		f := New(c.n, c.fp)
+		f.Add(42)
+		if !f.Contains(42) {
+			t.Fatalf("New(%d,%v): lost inserted key", c.n, c.fp)
+		}
+	}
+}
+
+func TestSizeScalesWithN(t *testing.T) {
+	small := New(100, 0.01)
+	large := New(100000, 0.01)
+	if large.Bits() <= small.Bits() {
+		t.Fatalf("larger n did not grow filter: %d vs %d", large.Bits(), small.Bits())
+	}
+	if small.SizeBytes() <= 0 || small.Hashes() < 1 {
+		t.Fatal("invalid geometry")
+	}
+}
+
+// Property: anything added is contained.
+func TestMembershipProperty(t *testing.T) {
+	f := New(5000, 0.01)
+	check := func(key uint64) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"flashwalker/internal/graph"
+	"flashwalker/internal/walk"
+)
+
+func weightedGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	cfg := graph.DefaultRMAT(1024, 8192, 5)
+	cfg.Weighted = true
+	g, err := graph.RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAliasSamplingCompletes(t *testing.T) {
+	g := weightedGraph(t)
+	rc := testConfig()
+	rc.Spec = walk.Spec{Kind: walk.Biased, Length: 6}
+	rc.UseAliasSampling = true
+	rc.NumWalks = 300
+	res := runEngine(t, g, rc)
+	if res.WalksFinished() != 300 {
+		t.Fatalf("finished %d of 300 with alias sampling", res.WalksFinished())
+	}
+}
+
+func TestAliasSamplingRequiresBiased(t *testing.T) {
+	g := weightedGraph(t)
+	rc := testConfig()
+	rc.UseAliasSampling = true // spec is unbiased
+	if _, err := NewEngine(g, rc); err == nil {
+		t.Fatal("alias sampling accepted for unbiased walks")
+	}
+}
+
+func TestAliasSamplingRequiresWeights(t *testing.T) {
+	g := graph.Ring(64)
+	rc := testConfig()
+	rc.Spec = walk.Spec{Kind: walk.Biased, Length: 6}
+	rc.UseAliasSampling = true
+	if _, err := NewEngine(g, rc); err == nil {
+		t.Fatal("alias sampling accepted for unweighted graph")
+	}
+}
+
+func TestAliasComparableToITS(t *testing.T) {
+	// Alias sampling charges constant updater ops instead of O(log deg)
+	// ITS steps. The sampled trajectories differ (different RNG draws),
+	// so end-to-end times wander a little; assert the alias run stays
+	// within a tight band of the ITS run rather than strictly below it —
+	// updater ops are a small share of end-to-end time at this scale.
+	g := weightedGraph(t)
+	rc := testConfig()
+	rc.Spec = walk.Spec{Kind: walk.Biased, Length: 6}
+	rc.NumWalks = 500
+	its := runEngine(t, g, rc)
+	rc.UseAliasSampling = true
+	alias := runEngine(t, g, rc)
+	if alias.Time > its.Time*115/100 {
+		t.Fatalf("alias (%v) far slower than ITS (%v)", alias.Time, its.Time)
+	}
+	if alias.WalksFinished() != its.WalksFinished() {
+		t.Fatal("workload shape changed")
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sort"
+
+	fl "flashwalker/internal/flash"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/partition"
+	"flashwalker/internal/rng"
+	"flashwalker/internal/sim"
+	"flashwalker/internal/trace"
+)
+
+// simTime converts an int operation count to a sim.Time multiplier.
+func simTime(n int) sim.Time { return sim.Time(n) }
+
+// hotEntry is one resident hot subgraph, kept sorted by LowVertex so the
+// guider's membership test is a binary search.
+type hotEntry struct {
+	low, high graph.VertexID
+	block     int
+}
+
+// hotIndex is a sorted hot-subgraph membership structure shared by the
+// channel- and board-level accelerators.
+type hotIndex struct {
+	entries []hotEntry
+	set     map[int]bool
+}
+
+func newHotIndex(part *partition.Partitioned, ids []int) *hotIndex {
+	h := &hotIndex{set: map[int]bool{}}
+	for _, id := range ids {
+		b := &part.Blocks[id]
+		h.entries = append(h.entries, hotEntry{low: b.LowVertex, high: b.HighVertex, block: id})
+		h.set[id] = true
+	}
+	sort.Slice(h.entries, func(i, j int) bool { return h.entries[i].low < h.entries[j].low })
+	return h
+}
+
+// find binary-searches for the hot block containing v; steps is the number
+// of comparisons (guider operations).
+func (h *hotIndex) find(v graph.VertexID) (block, steps int) {
+	lo, hi := 0, len(h.entries)-1
+	for lo <= hi {
+		steps++
+		mid := (lo + hi) / 2
+		e := h.entries[mid]
+		switch {
+		case v < e.low:
+			hi = mid - 1
+		case v > e.high:
+			lo = mid + 1
+		default:
+			return e.block, steps
+		}
+	}
+	if steps == 0 {
+		steps = 1
+	}
+	return -1, steps
+}
+
+func (h *hotIndex) contains(block int) bool { return h != nil && h.set[block] }
+
+func (h *hotIndex) ids() []int {
+	if h == nil {
+		return nil
+	}
+	out := make([]int, 0, len(h.entries))
+	for _, e := range h.entries {
+		out = append(out, e.block)
+	}
+	return out
+}
+
+// channelAccel is a channel-level accelerator (§III-C): it fetches roving
+// walks from its chips at a fixed interval, updates walks landing in its
+// hot subgraphs, performs the approximate walk search for the rest, and
+// forwards them to the board.
+type channelAccel struct {
+	e       *Engine
+	id      int
+	channel *fl.Channel
+	updater *unitPool
+	guider  *unitPool
+
+	hot      *hotIndex
+	hotReady bool
+
+	queueBytes int64 // walks buffered for hot-subgraph updating
+
+	rng *rng.RNG
+}
+
+func (ca *channelAccel) setHotBlocks(ids []int) {
+	ca.hot = newHotIndex(ca.e.part, ids)
+}
+
+func (ca *channelAccel) hotList() []int { return ca.hot.ids() }
+
+// scheduleTick arms the periodic roving-walk fetch.
+func (ca *channelAccel) scheduleTick() {
+	if ca.e.finished {
+		return
+	}
+	ca.e.eng.After(ca.e.cfg.RovingFetchInterval, func() {
+		ca.tick()
+		ca.scheduleTick()
+	})
+}
+
+// tick collects roving walks from every chip on the channel; each chip's
+// batch crosses the channel bus as one transfer.
+func (ca *channelAccel) tick() {
+	e := ca.e
+	first := ca.id * e.ssd.Cfg.ChipsPerChannel
+	for k := 0; k < e.ssd.Cfg.ChipsPerChannel; k++ {
+		chip := e.chips[first+k]
+		walks, bytes := chip.takeRoving()
+		if len(walks) == 0 {
+			continue
+		}
+		e.res.RovingTransfers++
+		e.res.RovingWalks += uint64(len(walks))
+		e.emit(trace.RovingBatch, int64(chip.id), int64(len(walks)))
+		batch := walks
+		e.ssd.TransferChannel(ca.channel, bytes, func() {
+			for i := range batch {
+				ca.guide(batch[i])
+			}
+		})
+	}
+}
+
+// guide classifies a roving walk at the channel level.
+func (ca *channelAccel) guide(st wstate) {
+	e := ca.e
+	ops := 1
+	var hotBlock = -1
+	if e.cfg.Opts.HotSubgraphs && ca.hotReady && st.denseBlock < 0 {
+		b, steps := ca.hot.find(st.w.Cur)
+		ops += steps
+		hotBlock = b
+	}
+	var rangeID = -1
+	var foreignPart = -1
+	if hotBlock < 0 && e.cfg.Opts.WalkQuery && st.denseBlock < 0 {
+		ri, steps := e.part.RangeOf(st.w.Cur)
+		ops += steps
+		rangeID = ri
+		e.res.RangeQueries++
+		if ri >= 0 {
+			r := e.part.Ranges[ri]
+			pf := e.part.PartitionOf(r.FirstBlock)
+			pl := e.part.PartitionOf(r.LastBlock)
+			if pf == pl && pf != e.curPart {
+				// The whole range lies outside the current partition: the
+				// walk is a foreigner, detected without board involvement.
+				foreignPart = pf
+			}
+		}
+	}
+	ca.guider.dispatch(simTime(ops)*e.cfg.ChannelGuiderCycle, func() {
+		switch {
+		case hotBlock >= 0 && ca.queueBytes+st.sizeBytes() <= e.cfg.ChannelWalkQueueBytes:
+			ca.queueBytes += st.sizeBytes()
+			ca.enqueueUpdate(st)
+		case foreignPart >= 0:
+			e.demoteWalk(foreignPart, st)
+		default:
+			st.rangeTag = rangeID
+			e.board.guide(st)
+		}
+	})
+}
+
+// enqueueUpdate runs a walk through the channel-level updater.
+func (ca *channelAccel) enqueueUpdate(st wstate) {
+	e := ca.e
+	size := st.sizeBytes()
+	h := e.decideHop(ca.rng, st)
+	e.chargeFilterProbes(h, nil)
+	ca.updater.dispatch(e.updateService(e.cfg.ChannelUpdaterCycle, h), func() {
+		ca.queueBytes -= size
+		e.res.HotHitsChannel++
+		if !h.deadEnd {
+			e.res.Hops++
+		}
+		if h.terminal {
+			e.board.completed()
+			e.finishWalk(!h.deadEnd)
+			return
+		}
+		ca.guide(h.next)
+	})
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"flashwalker/internal/rng"
+	"flashwalker/internal/trace"
+	"flashwalker/internal/walk"
+
+	fl "flashwalker/internal/flash"
+)
+
+// chipSlot is one subgraph buffer entry of a chip-level accelerator plus
+// its associated walk queue (§III-B).
+type chipSlot struct {
+	block   int  // resident block ID, -1 when the buffer entry is empty
+	loading bool // a load command is in flight
+	idle    bool // no walks owned and nothing scheduled; block stays resident
+	defers  int  // consecutive load postponements to let walks accumulate
+	pending int  // walks owned by the slot (queued + in update)
+}
+
+// maxLoadDefers bounds consecutive deferrals so progress is guaranteed.
+// One deferral captures most of the batching benefit; longer waits stall
+// the chip pipeline more than they save in page reads.
+const maxLoadDefers = 1
+
+// chipAccel is a chip-level accelerator: it loads subgraphs from its own
+// chip's flash planes, updates the walks landing in them, classifies
+// updated walks (stay local vs. roving), and buffers roving walks until
+// the channel-level accelerator fetches them.
+type chipAccel struct {
+	e       *Engine
+	id      int
+	chip    *fl.Chip
+	slots   []*chipSlot
+	updater *unitPool
+	guider  *unitPool
+
+	roving      []wstate
+	rovingBytes int64
+
+	completedBytes int64
+
+	// myBlocks caches this chip's block IDs in the current partition.
+	myBlocks []int
+
+	rng *rng.RNG
+}
+
+// refreshBlocks recomputes the candidate blocks for the current partition
+// and resets slot residency (the previous partition's subgraphs are stale).
+func (c *chipAccel) refreshBlocks() {
+	c.myBlocks = c.myBlocks[:0]
+	for _, b := range c.e.place.BlocksOnChip(c.id) {
+		if c.e.inCurrentPartition(b) {
+			c.myBlocks = append(c.myBlocks, b)
+		}
+	}
+	for _, s := range c.slots {
+		s.block = -1
+		s.loading = false
+		s.idle = true
+	}
+}
+
+// trySchedule fills every idle slot that can get work. Slots whose
+// resident block has walks are preferred (no page re-read), then the rest
+// pick by score.
+func (c *chipAccel) trySchedule() {
+	for _, s := range c.slots {
+		if s.idle && !s.loading && s.block >= 0 &&
+			len(c.e.pwb[s.block])+len(c.e.fls[s.block]) > 0 {
+			c.loadBlock(s, s.block)
+		}
+	}
+	for _, s := range c.slots {
+		if s.idle && !s.loading {
+			c.scheduleSlot(s)
+		}
+	}
+}
+
+// blockLoaded reports whether blockID is resident (or loading) in any slot.
+func (c *chipAccel) blockLoaded(blockID int) *chipSlot {
+	for _, s := range c.slots {
+		if s.block == blockID {
+			return s
+		}
+	}
+	return nil
+}
+
+// scheduleSlot asks the board scheduler for this slot's next subgraph and
+// starts loading it. The board picks the highest-score candidate among the
+// chip's blocks in the current partition (per-chip top-N list, §III-D).
+func (c *chipAccel) scheduleSlot(s *chipSlot) {
+	if c.e.finished {
+		return
+	}
+	best, bestScore := -1, 0.0
+	scanned := 0
+	for _, b := range c.myBlocks {
+		if len(c.e.pwb[b])+len(c.e.fls[b]) == 0 {
+			continue
+		}
+		if other := c.blockLoaded(b); other != nil && other != s {
+			continue
+		}
+		scanned++
+		sc := c.e.score[b]
+		if sc <= 0 {
+			// Cached score may be stale (batched updates); fall back to
+			// the live walk count so a block never starves.
+			sc = float64(len(c.e.pwb[b]) + len(c.e.fls[b]))
+		}
+		if best == -1 || sc > bestScore {
+			best, bestScore = b, sc
+		}
+		if scanned >= c.e.cfg.TopN && best != -1 {
+			// The hardware only maintains a top-N list per chip; bounding
+			// the scan models that.
+			break
+		}
+	}
+	if best == -1 {
+		// No work: the slot keeps its subgraph resident (SRAM is not
+		// wiped), so a later walk for the same block skips the page reads.
+		s.idle = true
+		s.defers = 0
+		return
+	}
+	resident := best == s.block
+	if c.e.cfg.MinWalksToLoad > 1 && !resident && s.defers < maxLoadDefers &&
+		len(c.e.pwb[best])+len(c.e.fls[best]) < c.e.cfg.MinWalksToLoad {
+		// Batch the load: give trickling walks time to accumulate before
+		// paying the page reads. The slot is not idle while deferred
+		// (only the timer re-triggers it); the deferral count bounds the
+		// wait so progress is guaranteed.
+		s.defers++
+		s.idle = false
+		c.e.eng.After(c.e.cfg.LoadIdleDelay, func() {
+			if s.defers > 0 && !s.loading && s.pending == 0 {
+				c.scheduleSlot(s)
+			}
+		})
+		return
+	}
+	s.defers = 0
+	c.loadBlock(s, best)
+}
+
+// loadBlock issues the load command and fetches the subgraph plus its
+// walks (§III-B step 1).
+func (c *chipAccel) loadBlock(s *chipSlot, blockID int) {
+	e := c.e
+	resident := s.block == blockID
+	s.block = blockID
+	s.loading = true
+	s.idle = false
+	e.res.SubgraphLoads++
+	if resident {
+		e.res.SubgraphReloads++
+	}
+
+	// Claim walks now so concurrent scheduling doesn't double-take.
+	take := e.slotCapWalks
+	fromPWB := e.pwb[blockID]
+	if len(fromPWB) > take {
+		fromPWB = fromPWB[:take]
+	}
+	e.pwb[blockID] = e.pwb[blockID][len(fromPWB):]
+	var pwbBytes int64
+	for i := range fromPWB {
+		pwbBytes += fromPWB[i].sizeBytes()
+	}
+	e.pwbBytes[blockID] -= pwbBytes
+	if e.pwbBytes[blockID] < 0 {
+		e.pwbBytes[blockID] = 0
+	}
+	take -= len(fromPWB)
+
+	fromFlash := e.fls[blockID]
+	if len(fromFlash) > take {
+		fromFlash = fromFlash[:take]
+	}
+	e.fls[blockID] = e.fls[blockID][len(fromFlash):]
+	flashPages := 0
+	if len(fromFlash) > 0 {
+		if len(e.fls[blockID]) == 0 {
+			flashPages = e.flsPages[blockID]
+			e.flsPages[blockID] = 0
+		} else {
+			flashPages = (len(fromFlash) + e.walksPerPage - 1) / e.walksPerPage
+			e.flsPages[blockID] -= flashPages
+			if e.flsPages[blockID] < 0 {
+				e.flsPages[blockID] = 0
+			}
+		}
+	}
+	e.refreshScore(blockID)
+
+	walks := append(fromFlash, fromPWB...)
+	e.emit(trace.SubgraphLoad, int64(blockID), int64(len(walks)))
+
+	// Three concurrent activities gate activation: the subgraph page
+	// reads, the walk delivery from the partition walk buffer (DRAM read +
+	// channel-bus transfer), and the local read of flushed walks.
+	parts := 1 // command
+	if !resident {
+		parts++
+	}
+	if len(fromPWB) > 0 {
+		parts++
+	}
+	if flashPages > 0 {
+		parts++
+	}
+	left := parts
+	oneDone := func() {
+		left--
+		if left > 0 {
+			return
+		}
+		s.loading = false
+		if len(walks) == 0 {
+			// Raced: walks were claimed but another path drained them (not
+			// expected, but keep the slot live).
+			c.slotDrained(s)
+			return
+		}
+		for i := range walks {
+			c.enqueue(s, walks[i])
+		}
+	}
+
+	// Load command crosses the channel bus (extended ONFI command, §III-C).
+	e.ssd.TransferChannel(c.chip.Channel, e.cfg.CommandBytes, oneDone)
+	if !resident {
+		pages := e.part.Pages(&e.part.Blocks[blockID], e.ssd.Cfg.PageBytes)
+		e.ssd.ReadPagesLocal(c.chip, pages, oneDone)
+	}
+	if len(fromPWB) > 0 {
+		e.dr.Read(pwbBytes, nil)
+		e.ssd.TransferChannel(c.chip.Channel, pwbBytes, oneDone)
+	}
+	if flashPages > 0 {
+		e.ssd.ReadPagesLocal(c.chip, flashPages, oneDone)
+	}
+}
+
+// enqueue hands a walk to the slot's queue; the updater serves it FIFO.
+func (c *chipAccel) enqueue(s *chipSlot, st wstate) {
+	s.pending++
+	s.idle = false
+	h := c.e.decideHop(c.rng, st)
+	c.e.chargeFilterProbes(h, c)
+	c.updater.dispatch(c.e.updateService(c.e.cfg.ChipUpdaterCycle, h), func() {
+		c.finishUpdate(s, h)
+	})
+}
+
+// finishUpdate applies a hop's outcome (§III-B steps 2-7).
+func (c *chipAccel) finishUpdate(s *chipSlot, h hopOutcome) {
+	e := c.e
+	s.pending--
+	e.res.ChipUpdates++
+	if !h.deadEnd {
+		e.res.Hops++
+	}
+	if h.terminal {
+		c.completedBytes += walk.StateBytes
+		if c.completedBytes >= e.cfg.ChipCompletedBufBytes {
+			pages := int((c.completedBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
+			e.ssd.ProgramPagesLocal(c.chip, pages, nil)
+			c.completedBytes = 0
+			e.res.CompletedFlushes++
+		}
+		e.finishWalk(!h.deadEnd)
+		c.checkDrained(s)
+		return
+	}
+	c.guide(h.next)
+	c.checkDrained(s)
+}
+
+// checkDrained notifies the scheduler when a slot's walk queue empties
+// (§III-D: "When a walk queue for a loaded subgraph becomes empty ... the
+// subgraph scheduler ... is informed").
+func (c *chipAccel) checkDrained(s *chipSlot) {
+	if s.pending == 0 && !s.loading {
+		c.slotDrained(s)
+	}
+}
+
+func (c *chipAccel) slotDrained(s *chipSlot) {
+	c.scheduleSlot(s)
+}
+
+// guide classifies an updated walk: back into a loaded subgraph's queue, or
+// into the roving buffer for the channel-level accelerator (§III-B).
+func (c *chipAccel) guide(st wstate) {
+	// One compare per loaded subgraph plus the move.
+	service := c.e.cfg.ChipGuiderCycle * simTime(1+len(c.slots))
+	c.guider.dispatch(service, func() {
+		c.route(st)
+	})
+}
+
+func (c *chipAccel) route(st wstate) {
+	e := c.e
+	if target := c.matchSlot(st); target != nil {
+		c.enqueue(target, st)
+		return
+	}
+	if c.rovingBytes+st.sizeBytes() > e.cfg.ChipRovingBufBytes {
+		// Roving buffer full: the guider stalls until the channel-level
+		// accelerator's next fetch drains it.
+		e.res.GuiderStalls++
+		c.guider.dispatch(e.cfg.RovingFetchInterval, func() {
+			c.route(st)
+		})
+		return
+	}
+	c.rovingBytes += st.sizeBytes()
+	c.roving = append(c.roving, st)
+}
+
+// matchSlot finds a loaded slot whose subgraph contains the walk.
+func (c *chipAccel) matchSlot(st wstate) *chipSlot {
+	for _, s := range c.slots {
+		if s.block < 0 || s.loading {
+			continue
+		}
+		b := &c.e.part.Blocks[s.block]
+		if b.Dense {
+			if st.denseBlock == s.block {
+				return s
+			}
+			continue
+		}
+		if st.denseBlock < 0 && st.w.Cur >= b.LowVertex && st.w.Cur <= b.HighVertex {
+			return s
+		}
+	}
+	return nil
+}
+
+// takeRoving hands the roving buffer's contents to the channel fetcher.
+func (c *chipAccel) takeRoving() ([]wstate, int64) {
+	w, b := c.roving, c.rovingBytes
+	c.roving = nil
+	c.rovingBytes = 0
+	return w, b
+}

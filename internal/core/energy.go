@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"flashwalker/internal/sim"
+)
+
+// EnergyConfig holds per-operation energy estimates used to convert a
+// run's traffic counters into an energy figure. The paper motivates
+// in-storage processing partly by "high memory cost and energy consumption
+// for managing graph and walks" (§I); this model quantifies that claim as
+// an extension experiment.
+//
+// Defaults are order-of-magnitude literature estimates for MLC NAND, ONFI
+// buses, DDR4, and small 45 nm accelerators (the paper's FreePDK45 RTL):
+// absolute joules are indicative, ratios between systems are the point.
+type EnergyConfig struct {
+	// Flash array energies.
+	ReadPageNJ    float64 // energy to sense one 4 KiB page (~40 uJ -> 40000 nJ)
+	ProgramPageNJ float64 // one page program (~200 uJ)
+	EraseBlockNJ  float64 // one block erase (~1.5 mJ)
+
+	// Interconnect energies per byte.
+	ChannelPJPerByte float64 // ONFI NV-DDR2 transfer (~20 pJ/byte)
+	PCIePJPerByte    float64 // PCIe 3.0 (~60 pJ/byte incl. SerDes)
+	DRAMPJPerByte    float64 // DDR4 access (~150 pJ/byte incl. activation)
+
+	// Accelerator energies.
+	AccelOpPJ float64 // one updater/guider operation (~5 pJ at 45 nm)
+	// AccelStaticW is total leakage+clock power of all accelerator PEs
+	// (paper area 1.30+1.84+14.31 mm^2 -> ~0.5 W at 45 nm).
+	AccelStaticW float64
+
+	// Host-side (GraphWalker) energies.
+	HostCPUActiveW float64 // package power while updating walks (~65 W)
+	HostIdleW      float64 // host idle floor while waiting on I/O (~20 W)
+}
+
+// DefaultEnergy returns the literature-estimate configuration.
+func DefaultEnergy() EnergyConfig {
+	return EnergyConfig{
+		ReadPageNJ:       40_000,
+		ProgramPageNJ:    200_000,
+		EraseBlockNJ:     1_500_000,
+		ChannelPJPerByte: 20,
+		PCIePJPerByte:    60,
+		DRAMPJPerByte:    150,
+		AccelOpPJ:        5,
+		AccelStaticW:     0.5,
+		HostCPUActiveW:   65,
+		HostIdleW:        20,
+	}
+}
+
+// Validate checks the configuration.
+func (c EnergyConfig) Validate() error {
+	vals := []float64{
+		c.ReadPageNJ, c.ProgramPageNJ, c.EraseBlockNJ,
+		c.ChannelPJPerByte, c.PCIePJPerByte, c.DRAMPJPerByte,
+		c.AccelOpPJ, c.AccelStaticW, c.HostCPUActiveW, c.HostIdleW,
+	}
+	for i, v := range vals {
+		if v < 0 {
+			return fmt.Errorf("core: energy parameter %d negative", i)
+		}
+	}
+	return nil
+}
+
+// Energy is a joule breakdown of one run.
+type Energy struct {
+	FlashJ   float64 // page reads + programs + erases
+	ChannelJ float64 // channel-bus transfers
+	PCIeJ    float64 // host-link transfers
+	DRAMJ    float64 // on-board or host DRAM traffic
+	ComputeJ float64 // accelerator ops or host CPU active energy
+	StaticJ  float64 // leakage / idle floor over the elapsed time
+}
+
+// Total sums the components.
+func (e Energy) Total() float64 {
+	return e.FlashJ + e.ChannelJ + e.PCIeJ + e.DRAMJ + e.ComputeJ + e.StaticJ
+}
+
+// FlashWalkerEnergy estimates the energy of a FlashWalker run from its
+// result counters.
+func FlashWalkerEnergy(c EnergyConfig, r *Result) Energy {
+	var e Energy
+	e.FlashJ = nj(float64(r.Flash.ReadPages)*c.ReadPageNJ +
+		float64(r.Flash.ProgramPages)*c.ProgramPageNJ +
+		float64(r.Flash.ErasedBlocks)*c.EraseBlockNJ)
+	e.ChannelJ = pj(float64(r.Flash.ChannelBytes) * c.ChannelPJPerByte)
+	e.PCIeJ = pj(float64(r.Flash.HostBytes) * c.PCIePJPerByte)
+	e.DRAMJ = pj(float64(r.DRAMReadBytes+r.DRAMWriteBytes) * c.DRAMPJPerByte)
+	// Accelerator dynamic energy: every update is OpsPerUpdate ops, every
+	// routing decision a handful; approximate ops as updates*5 + searches.
+	ops := float64(r.Hops)*5 +
+		float64(r.TableSearchSteps) +
+		float64(r.QueryCacheHits+r.QueryCacheMisses) +
+		float64(r.RovingWalks)*2
+	e.ComputeJ = pj(ops * c.AccelOpPJ)
+	e.StaticJ = c.AccelStaticW * r.Time.Seconds()
+	return e
+}
+
+// GraphWalkerEnergyInput is the subset of baseline results the energy
+// model needs (kept as plain values to avoid an import cycle).
+type GraphWalkerEnergyInput struct {
+	Time          sim.Time
+	CPUBusy       sim.Time // "update walks" component
+	ReadPages     uint64
+	ProgramPages  uint64
+	ErasedBlocks  uint64
+	ChannelBytes  int64
+	HostBytes     int64
+	HostDRAMBytes int64 // graph bytes staged through host memory
+}
+
+// GraphWalkerEnergy estimates the energy of a baseline run.
+func GraphWalkerEnergy(c EnergyConfig, in GraphWalkerEnergyInput) Energy {
+	var e Energy
+	e.FlashJ = nj(float64(in.ReadPages)*c.ReadPageNJ +
+		float64(in.ProgramPages)*c.ProgramPageNJ +
+		float64(in.ErasedBlocks)*c.EraseBlockNJ)
+	e.ChannelJ = pj(float64(in.ChannelBytes) * c.ChannelPJPerByte)
+	e.PCIeJ = pj(float64(in.HostBytes) * c.PCIePJPerByte)
+	e.DRAMJ = pj(float64(in.HostDRAMBytes) * c.DRAMPJPerByte)
+	e.ComputeJ = (c.HostCPUActiveW - c.HostIdleW) * in.CPUBusy.Seconds()
+	e.StaticJ = c.HostIdleW * in.Time.Seconds()
+	return e
+}
+
+func nj(v float64) float64 { return v * 1e-9 }
+func pj(v float64) float64 { return v * 1e-12 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"flashwalker/internal/flash"
+	"flashwalker/internal/sim"
+)
+
+func TestDefaultEnergyValid(t *testing.T) {
+	if err := DefaultEnergy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyValidateRejectsNegative(t *testing.T) {
+	c := DefaultEnergy()
+	c.ReadPageNJ = -1
+	if c.Validate() == nil {
+		t.Fatal("negative parameter accepted")
+	}
+}
+
+func TestFlashWalkerEnergyComponents(t *testing.T) {
+	c := DefaultEnergy()
+	r := &Result{
+		Time: sim.Second,
+		Hops: 1000,
+		Flash: flash.Counters{
+			ReadPages:    100,
+			ProgramPages: 10,
+			ErasedBlocks: 1,
+			ChannelBytes: 1 << 20,
+			HostBytes:    0,
+		},
+		DRAMReadBytes:  1 << 20,
+		DRAMWriteBytes: 1 << 20,
+	}
+	e := FlashWalkerEnergy(c, r)
+	// Flash: 100*40uJ + 10*200uJ + 1*1.5mJ = 4mJ + 2mJ + 1.5mJ = 7.5 mJ.
+	if e.FlashJ < 0.0074 || e.FlashJ > 0.0076 {
+		t.Fatalf("FlashJ = %v, want ~7.5 mJ", e.FlashJ)
+	}
+	// Static: 0.5 W x 1 s = 0.5 J.
+	if e.StaticJ != 0.5 {
+		t.Fatalf("StaticJ = %v", e.StaticJ)
+	}
+	if e.PCIeJ != 0 {
+		t.Fatalf("FlashWalker used PCIe energy: %v", e.PCIeJ)
+	}
+	if e.Total() <= e.StaticJ {
+		t.Fatal("total not accumulating components")
+	}
+}
+
+func TestGraphWalkerEnergyComponents(t *testing.T) {
+	c := DefaultEnergy()
+	in := GraphWalkerEnergyInput{
+		Time:          sim.Second,
+		CPUBusy:       sim.Second / 2,
+		ReadPages:     100,
+		HostBytes:     1 << 20,
+		HostDRAMBytes: 1 << 20,
+	}
+	e := GraphWalkerEnergy(c, in)
+	// Compute: (65-20) W * 0.5 s = 22.5 J; static 20 J.
+	if e.ComputeJ != 22.5 {
+		t.Fatalf("ComputeJ = %v", e.ComputeJ)
+	}
+	if e.StaticJ != 20 {
+		t.Fatalf("StaticJ = %v", e.StaticJ)
+	}
+	if e.PCIeJ <= 0 {
+		t.Fatal("no PCIe energy on the host path")
+	}
+}
+
+func TestEnergyComparisonEndToEnd(t *testing.T) {
+	// A real engine run: FlashWalker's energy should be far below a
+	// host-based run of the same workload, dominated by the host's static
+	// and CPU power over its longer runtime.
+	g := testGraph(t)
+	rc := testConfig()
+	res := runEngine(t, g, rc)
+	fwE := FlashWalkerEnergy(DefaultEnergy(), res)
+	if fwE.Total() <= 0 {
+		t.Fatal("zero FlashWalker energy")
+	}
+	gwE := GraphWalkerEnergy(DefaultEnergy(), GraphWalkerEnergyInput{
+		Time:      res.Time * 5, // a plausibly slower host run
+		CPUBusy:   res.Time,
+		ReadPages: res.Flash.ReadPages,
+		HostBytes: res.Flash.ReadBytes,
+	})
+	if gwE.Total() <= fwE.Total() {
+		t.Fatalf("host energy %v not above in-storage %v", gwE.Total(), fwE.Total())
+	}
+}

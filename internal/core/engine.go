@@ -1,0 +1,742 @@
+package core
+
+import (
+	"fmt"
+
+	"flashwalker/internal/bloom"
+	"flashwalker/internal/dram"
+	"flashwalker/internal/flash"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/metrics"
+	"flashwalker/internal/partition"
+	"flashwalker/internal/rng"
+	"flashwalker/internal/sim"
+	"flashwalker/internal/trace"
+	"flashwalker/internal/walk"
+)
+
+// wstate is a walk in flight through the accelerator hierarchy, carrying the
+// routing annotations the hardware attaches: the pre-walked dense block and
+// edge (paper §III-D) and the subgraph-range tag from the approximate walk
+// search (§III-C).
+type wstate struct {
+	w          walk.Walk
+	denseBlock int    // destination dense block after pre-walking, -1 otherwise
+	denseEdge  uint64 // chosen edge index within Cur's edge list (pre-walked)
+	rangeTag   int    // subgraph range ID from the approximate search, -1 untagged
+	// prev is the previous vertex (second-order walks); noPrev before the
+	// first hop. Unlike the tags above it persists across routing.
+	prev graph.VertexID
+}
+
+// noPrev marks a walk that has not hopped yet.
+const noPrev = ^graph.VertexID(0)
+
+func (ws *wstate) clearTags() {
+	ws.denseBlock = -1
+	ws.rangeTag = -1
+}
+
+// sizeBytes is the buffer/flash footprint of the walk record; pre-walked
+// dense walks omit cur (§III-D).
+func (ws *wstate) sizeBytes() int64 {
+	if ws.denseBlock >= 0 {
+		return walk.DenseStateBytes
+	}
+	return walk.StateBytes
+}
+
+// RunConfig bundles everything one FlashWalker run needs.
+type RunConfig struct {
+	Cfg       Config
+	FlashCfg  flash.Config
+	DRAMCfg   dram.Config
+	PartCfg   partition.Config
+	Spec      walk.Spec
+	NumWalks  int
+	StartSeed uint64
+	// Starts, when non-empty, supplies the walks' start vertices (cycled
+	// when NumWalks exceeds its length) instead of uniform random draws —
+	// e.g. PPR runs every walk from one source.
+	Starts []graph.VertexID
+	// ProgressBin, when non-zero, enables the Figure-8 time series.
+	ProgressBin sim.Time
+	// MaxSimTime aborts runs exceeding this simulated time (0 = unlimited).
+	MaxSimTime sim.Time
+	// TrackVisits records per-vertex visit counts in Result.Visits
+	// (validation and analytics; costs one counter array).
+	TrackVisits bool
+	// Tracer, when non-nil, receives structured simulation events
+	// (subgraph loads, roving batches, flushes, partition switches).
+	Tracer trace.Tracer
+	// Audit enables walk-conservation checks at every partition switch
+	// and at completion: the walks in all stores plus the finished count
+	// must equal the started count. Costs a scan per switch.
+	Audit bool
+	// UseAliasSampling makes biased walks sample with precomputed alias
+	// tables (O(1) per hop, KnightKing-style) instead of the paper's ITS
+	// binary search. The tables double the per-edge metadata stored with
+	// each subgraph (see walk.GraphAlias.SizeBytes).
+	UseAliasSampling bool
+}
+
+// Engine is one FlashWalker simulation instance.
+type Engine struct {
+	eng   *sim.Engine
+	cfg   Config
+	ssd   *flash.SSD
+	dr    *dram.DRAM
+	g     *graph.Graph
+	part  *partition.Partitioned
+	place *partition.Placement
+	spec  walk.Spec
+
+	chips []*chipAccel
+	chans []*channelAccel
+	board *boardAccel
+
+	// Per-block walk stores outside the accelerators.
+	pwb       [][]wstate // partition walk buffer entries (DRAM)
+	pwbBytes  []int64
+	fls       [][]wstate // walks overflowed to flash, per block
+	flsPages  []int
+	score     []float64 // cached Eq. 1 score per block
+	scorePend []int     // inserts since last score refresh
+
+	// Walks awaiting a future partition. pendingMem walks live in board
+	// DRAM/host; pendingFlash walks were flushed and must be read back.
+	pendingMem        [][]wstate
+	pendingFlash      [][]wstate
+	pendingFlashBytes []int64
+	// flushMark[p] is the prefix of pendingMem[p] that is NOT sitting in
+	// the board's foreigner buffer (initial seeds and previously settled
+	// walks). pendingMem[p][flushMark[p]:] are the foreigner-buffer
+	// residents that a buffer overflow flushes to flash.
+	flushMark         []int
+	foreignerBufBytes int64
+
+	// edgeFilter answers neighbor-membership queries for second-order
+	// walks (nil otherwise); it lives in on-board DRAM.
+	edgeFilter *bloom.Filter
+	// alias holds per-vertex alias tables when UseAliasSampling is set on
+	// a biased run (nil otherwise).
+	alias *walk.GraphAlias
+
+	curPart   int
+	activeCur int // walks of the current partition inside the system
+	remaining int // walks not yet finished anywhere
+	finished  bool
+	failure   error
+	audit     bool
+
+	res Result
+
+	slotsPerChip int
+	slotCapWalks int
+	walksPerPage int
+
+	flushChipRR int // round-robin chip cursor for board-side flushes
+
+	maxSimTime sim.Time
+	tracer     trace.Tracer
+
+	rootRNG *rng.RNG
+}
+
+// emit sends a trace event if tracing is enabled.
+func (e *Engine) emit(kind trace.Kind, a, b int64) {
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{At: e.eng.Now(), Kind: kind, A: a, B: b})
+	}
+}
+
+// NewEngine builds a FlashWalker instance over the graph. The walks start
+// at numWalks uniformly random vertices drawn from startSeed.
+func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
+	if err := rc.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rc.Spec.Validate(g); err != nil {
+		return nil, err
+	}
+	if rc.NumWalks <= 0 {
+		return nil, fmt.Errorf("core: NumWalks %d <= 0", rc.NumWalks)
+	}
+	part, err := partition.Partition(g, rc.PartCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	ssd, err := flash.New(eng, rc.FlashCfg)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := dram.New(eng, rc.DRAMCfg)
+	if err != nil {
+		return nil, err
+	}
+	place, err := partition.NewPlacement(part, rc.FlashCfg.Channels, rc.FlashCfg.ChipsPerChannel)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		eng:   eng,
+		cfg:   rc.Cfg,
+		ssd:   ssd,
+		dr:    dr,
+		g:     g,
+		part:  part,
+		place: place,
+		spec:  rc.Spec,
+
+		pwb:       make([][]wstate, part.NumBlocks()),
+		pwbBytes:  make([]int64, part.NumBlocks()),
+		fls:       make([][]wstate, part.NumBlocks()),
+		flsPages:  make([]int, part.NumBlocks()),
+		score:     make([]float64, part.NumBlocks()),
+		scorePend: make([]int, part.NumBlocks()),
+
+		pendingMem:        make([][]wstate, part.NumPartitions),
+		pendingFlash:      make([][]wstate, part.NumPartitions),
+		pendingFlashBytes: make([]int64, part.NumPartitions),
+		flushMark:         make([]int, part.NumPartitions),
+
+		curPart:    -1,
+		maxSimTime: rc.MaxSimTime,
+		tracer:     rc.Tracer,
+		audit:      rc.Audit,
+		rootRNG:    rng.New(rc.Cfg.Seed),
+	}
+
+	e.slotsPerChip = int(rc.Cfg.ChipSubgraphBufBytes / rc.PartCfg.BlockBytes)
+	if e.slotsPerChip < 1 {
+		e.slotsPerChip = 1
+	}
+	e.slotCapWalks = int(rc.Cfg.ChipWalkQueueBytes / walk.StateBytes / int64(e.slotsPerChip))
+	if e.slotCapWalks < 1 {
+		e.slotCapWalks = 1
+	}
+	e.walksPerPage = int(rc.FlashCfg.PageBytes / walk.StateBytes)
+	if e.walksPerPage < 1 {
+		e.walksPerPage = 1
+	}
+
+	if rc.TrackVisits {
+		e.res.Visits = make([]uint64, g.NumVertices())
+	}
+	if rc.Spec.Kind == walk.SecondOrder {
+		e.edgeFilter = partition.EdgeFilter(g, 0.01)
+	}
+	if rc.UseAliasSampling {
+		if rc.Spec.Kind != walk.Biased {
+			return nil, fmt.Errorf("core: alias sampling only applies to biased walks")
+		}
+		ga, err := walk.NewGraphAlias(g)
+		if err != nil {
+			return nil, err
+		}
+		e.alias = ga
+	}
+	if rc.ProgressBin > 0 {
+		ssd.ReadTS = metrics.NewTimeSeries(rc.ProgressBin)
+		ssd.WriteTS = metrics.NewTimeSeries(rc.ProgressBin)
+		ssd.ChannelTS = metrics.NewTimeSeries(rc.ProgressBin)
+		e.res.ReadTS = ssd.ReadTS
+		e.res.WriteTS = ssd.WriteTS
+		e.res.ChannelTS = ssd.ChannelTS
+		e.res.ProgressTS = metrics.NewTimeSeries(rc.ProgressBin)
+	}
+
+	e.buildAccelerators()
+	if len(rc.Starts) > 0 {
+		for _, v := range rc.Starts {
+			if v >= g.NumVertices() {
+				return nil, fmt.Errorf("core: start vertex %d out of range", v)
+			}
+		}
+		e.seedWalksFrom(rc.Starts, rc.NumWalks)
+	} else {
+		e.seedWalksFrom(walk.UniformStarts(e.g, rc.NumWalks, rc.StartSeed), rc.NumWalks)
+	}
+	return e, nil
+}
+
+// buildAccelerators wires the three accelerator tiers.
+func (e *Engine) buildAccelerators() {
+	numChips := e.ssd.NumChips()
+	for i := 0; i < numChips; i++ {
+		c := &chipAccel{
+			e:       e,
+			id:      i,
+			chip:    e.ssd.Chip(i),
+			updater: newUnitPool(e.eng, e.cfg.ChipUpdaters),
+			guider:  newUnitPool(e.eng, e.cfg.ChipGuiders),
+			rng:     e.rootRNG.Derive(uint64(1000 + i)),
+		}
+		for s := 0; s < e.slotsPerChip; s++ {
+			c.slots = append(c.slots, &chipSlot{block: -1})
+		}
+		e.chips = append(e.chips, c)
+	}
+	for ch := 0; ch < e.ssd.Cfg.Channels; ch++ {
+		ca := &channelAccel{
+			e:       e,
+			id:      ch,
+			channel: e.ssd.Channel(ch),
+			updater: newUnitPool(e.eng, e.cfg.ChannelUpdaters),
+			guider:  newUnitPool(e.eng, e.cfg.ChannelGuiders),
+			rng:     e.rootRNG.Derive(uint64(2000 + ch)),
+		}
+		e.chans = append(e.chans, ca)
+	}
+	b := &boardAccel{
+		e:       e,
+		updater: newUnitPool(e.eng, e.cfg.BoardUpdaters),
+		guider:  newUnitPool(e.eng, e.cfg.BoardGuiders),
+		rng:     e.rootRNG.Derive(3000),
+	}
+	for i := 0; i < e.cfg.TablePorts; i++ {
+		b.ports = append(b.ports, sim.NewQueue(e.eng))
+	}
+	if e.cfg.Opts.WalkQuery {
+		for i := 0; i < e.cfg.NumQueryCaches; i++ {
+			b.caches = append(b.caches, newQueryCache(e.cfg.QueryCacheBytes, e.cfg.MappingEntryBytes))
+		}
+	}
+	e.board = b
+	e.selectHotSubgraphs()
+}
+
+// selectHotSubgraphs picks the top in-degree non-dense blocks for the board
+// and for each channel (paper §III-C: channels keep the top-K among blocks
+// on their own chips).
+func (e *Engine) selectHotSubgraphs() {
+	if !e.cfg.Opts.HotSubgraphs {
+		return
+	}
+	sums := e.part.InDegreeSums()
+	pick := func(candidates []int, capBytes int64) []int {
+		budget := capBytes
+		// Selection sort of the top items by in-degree sum; candidate lists
+		// are small (blocks per channel).
+		chosen := []int{}
+		used := map[int]bool{}
+		for {
+			best, bestSum := -1, uint64(0)
+			for _, id := range candidates {
+				b := &e.part.Blocks[id]
+				if used[id] || b.Dense || b.Bytes > budget {
+					continue
+				}
+				if best == -1 || sums[id] > bestSum {
+					best, bestSum = id, sums[id]
+				}
+			}
+			if best == -1 {
+				break
+			}
+			used[best] = true
+			budget -= e.part.Blocks[best].Bytes
+			chosen = append(chosen, best)
+		}
+		return chosen
+	}
+	all := make([]int, e.part.NumBlocks())
+	for i := range all {
+		all[i] = i
+	}
+	e.board.setHotBlocks(pick(all, e.cfg.BoardSubgraphBufBytes))
+	for ch, ca := range e.chans {
+		ca.setHotBlocks(pick(e.place.BlocksOnChannel(ch), e.cfg.ChannelSubgraphBufBytes))
+	}
+}
+
+// seedWalksFrom creates the workload from the given start vertices and
+// sorts walks into per-partition pending lists (walk initialization is
+// host-side preprocessing; it is not charged to the simulated clock,
+// matching the paper's exclusion of preprocessing).
+func (e *Engine) seedWalksFrom(starts []graph.VertexID, n int) {
+	ws := walk.NewWalks(e.spec, starts, n)
+	e.remaining = len(ws)
+	e.res.Started = len(ws)
+	for i := range ws {
+		st := wstate{w: ws[i], denseBlock: -1, rangeTag: -1, prev: noPrev}
+		if e.res.Visits != nil {
+			e.res.Visits[st.w.Cur]++
+		}
+		p := e.homePartition(st.w.Cur)
+		e.pendingMem[p] = append(e.pendingMem[p], st)
+	}
+	for p := range e.pendingMem {
+		e.flushMark[p] = len(e.pendingMem[p])
+	}
+}
+
+// homePartition reports which partition a vertex's subgraph belongs to
+// (dense vertices use their first block).
+func (e *Engine) homePartition(v graph.VertexID) int {
+	if m, ok := e.part.Dense.Lookup(v); ok {
+		return e.part.PartitionOf(m.FirstBlockID)
+	}
+	id, _ := e.part.BlockOf(v)
+	if id < 0 {
+		return 0
+	}
+	return e.part.PartitionOf(id)
+}
+
+// Run executes the simulation to completion and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	e.preloadHotSubgraphs()
+	for _, ca := range e.chans {
+		ca.scheduleTick()
+	}
+	if !e.advancePartition() {
+		e.finished = true
+	}
+	if e.maxSimTime > 0 {
+		e.eng.RunUntil(e.maxSimTime)
+		if e.remaining != 0 && e.failure == nil {
+			return nil, fmt.Errorf("core: MaxSimTime %v exceeded with %d walks unfinished", e.maxSimTime, e.remaining)
+		}
+	} else {
+		e.eng.Run()
+	}
+	if e.failure != nil {
+		return nil, e.failure
+	}
+	if e.remaining != 0 {
+		return nil, fmt.Errorf("core: simulation drained with %d walks unfinished (activeCur=%d, partition=%d)",
+			e.remaining, e.activeCur, e.curPart)
+	}
+	e.res.Time = e.eng.Now()
+	e.res.Flash = e.ssd.Counters
+	e.res.DRAMReadBytes = e.dr.ReadBytes
+	e.res.DRAMWriteBytes = e.dr.WriteBytes
+	e.res.DRAMPortUtil = e.dr.Utilization()
+	e.res.BoardGuiderUtil = e.board.guider.utilization()
+	var chipU, chipMax, busMax float64
+	for _, c := range e.chips {
+		u := c.updater.utilization()
+		chipU += u
+		if u > chipMax {
+			chipMax = u
+		}
+	}
+	e.res.ChipUpdaterUtil = chipU / float64(len(e.chips))
+	e.res.ChipUpdaterUtilMax = chipMax
+	var chGU float64
+	for _, ca := range e.chans {
+		chGU += ca.guider.utilization()
+		if u := ca.channel.Bus.Utilization(); u > busMax {
+			busMax = u
+		}
+	}
+	e.res.ChannelGuiderUtil = chGU / float64(len(e.chans))
+	e.res.ChannelBusUtilMax = busMax
+	return &e.res, nil
+}
+
+// preloadHotSubgraphs reads hot blocks into the channel and board buffers
+// at time zero, paying the flash and bus traffic.
+func (e *Engine) preloadHotSubgraphs() {
+	if !e.cfg.Opts.HotSubgraphs {
+		e.board.hotReady = true
+		for _, ca := range e.chans {
+			ca.hotReady = true
+		}
+		return
+	}
+	load := func(ids []int, ready *bool) {
+		if len(ids) == 0 {
+			*ready = true
+			return
+		}
+		left := len(ids)
+		for _, id := range ids {
+			pages := e.part.Pages(&e.part.Blocks[id], e.ssd.Cfg.PageBytes)
+			chip := e.ssd.Chip(e.place.ChipOf(id))
+			e.ssd.ReadPagesToChannel(chip, pages, func() {
+				left--
+				if left == 0 {
+					*ready = true
+				}
+			})
+		}
+	}
+	load(e.board.hotList(), &e.board.hotReady)
+	for _, ca := range e.chans {
+		load(ca.hotList(), &ca.hotReady)
+	}
+}
+
+// fail aborts the simulation with an error.
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.finished = true
+}
+
+// finishWalk retires a walk (completed or dead-ended).
+func (e *Engine) finishWalk(completed bool) {
+	if completed {
+		e.res.Completed++
+		e.emit(trace.WalkDone, 1, 0)
+	} else {
+		e.res.DeadEnded++
+		e.emit(trace.WalkDone, 0, 0)
+	}
+	if e.res.ProgressTS != nil {
+		e.res.ProgressTS.Add(e.eng.Now(), 1)
+	}
+	e.remaining--
+	e.activeCur--
+	e.checkPartitionDone()
+}
+
+// demoteWalk moves a foreigner out of the current partition: the walk
+// lands in the board's foreigner buffer (tracked as the tail of
+// pendingMem[p]); if the buffer fills, every buffered foreigner is flushed
+// to flash (§III-C/D).
+func (e *Engine) demoteWalk(p int, st wstate) {
+	st.clearTags()
+	e.pendingMem[p] = append(e.pendingMem[p], st)
+	e.foreignerBufBytes += walk.StateBytes
+	e.res.ForeignerWalks++
+	if e.foreignerBufBytes >= e.cfg.ForeignerBufBytes {
+		e.flushForeigners()
+	}
+	e.activeCur--
+	e.checkPartitionDone()
+}
+
+// flushForeigners writes every foreigner-buffer resident to flash and
+// records the read-back debt per destination partition.
+func (e *Engine) flushForeigners() {
+	var totalBytes int64
+	for p := range e.pendingMem {
+		tail := e.pendingMem[p][e.flushMark[p]:]
+		if len(tail) == 0 {
+			continue
+		}
+		bytes := int64(len(tail)) * walk.StateBytes
+		e.pendingFlash[p] = append(e.pendingFlash[p], tail...)
+		e.pendingFlashBytes[p] += bytes
+		e.pendingMem[p] = e.pendingMem[p][:e.flushMark[p]]
+		totalBytes += bytes
+	}
+	e.foreignerBufBytes = 0
+	if totalBytes == 0 {
+		return
+	}
+	e.res.ForeignerFlushes++
+	e.emit(trace.ForeignerFlush, totalBytes, 0)
+	e.dr.Read(totalBytes, nil)
+	pages := int((totalBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
+	e.ssd.ProgramPagesFromBoard(e.flushChip(), pages, nil)
+}
+
+// checkPartitionDone advances to the next partition once the current one is
+// fully drained.
+func (e *Engine) checkPartitionDone() {
+	if e.finished || e.activeCur > 0 {
+		return
+	}
+	if e.activeCur < 0 {
+		e.fail(fmt.Errorf("core: activeCur went negative"))
+		return
+	}
+	if !e.advancePartition() {
+		e.finished = true
+		if e.remaining != 0 {
+			e.fail(fmt.Errorf("core: no partitions left but %d walks remain", e.remaining))
+		}
+	}
+}
+
+// auditConservation verifies that every started walk is accounted for:
+// finished + in pending stores + active in the current partition. Called
+// between partitions (activeCur == 0, so nothing is in flight).
+func (e *Engine) auditConservation(where string) {
+	if !e.audit || e.failure != nil {
+		return
+	}
+	stored := 0
+	for p := range e.pendingMem {
+		stored += len(e.pendingMem[p]) + len(e.pendingFlash[p])
+	}
+	for b := range e.pwb {
+		stored += len(e.pwb[b]) + len(e.fls[b])
+	}
+	finished := e.res.Completed + e.res.DeadEnded
+	if got := stored + finished + e.activeCur - e.activeCurStoredOverlap(); got != e.res.Started {
+		e.fail(fmt.Errorf("core: audit(%s): %d stored + %d finished + %d active != %d started",
+			where, stored, finished, e.activeCur, e.res.Started))
+	}
+}
+
+// activeCurStoredOverlap counts walks that are both active and sitting in
+// a per-block store of the current partition (pwb/fls double-count
+// against activeCur in the audit sum).
+func (e *Engine) activeCurStoredOverlap() int {
+	if e.curPart < 0 {
+		return 0
+	}
+	first, last := e.part.PartitionSpan(e.curPart)
+	n := 0
+	for b := first; b <= last; b++ {
+		n += len(e.pwb[b]) + len(e.fls[b])
+	}
+	return n
+}
+
+// advancePartition selects the next partition holding walks and dispatches
+// its pending set. It reports false when no walks remain anywhere.
+func (e *Engine) advancePartition() bool {
+	e.auditConservation("partition-switch")
+	np := e.part.NumPartitions
+	for step := 1; step <= np; step++ {
+		p := (e.curPart + step) % np
+		if e.curPart < 0 {
+			p = step - 1
+		}
+		if len(e.pendingMem[p]) == 0 && len(e.pendingFlash[p]) == 0 {
+			continue
+		}
+		e.startPartition(p)
+		return true
+	}
+	return false
+}
+
+// startPartition switches the engine to partition p: invalidates the query
+// caches (their entries map the old partition's table), refreshes each
+// chip's candidate block list, reads back flushed foreigner walks, and
+// routes every pending walk through the board guider.
+func (e *Engine) startPartition(p int) {
+	e.curPart = p
+	e.res.PartitionSwitches++
+	e.emit(trace.PartitionSwitch, int64(p),
+		int64(len(e.pendingMem[p])+len(e.pendingFlash[p])))
+	for _, qc := range e.board.caches {
+		qc.invalidate()
+	}
+	for _, c := range e.chips {
+		c.refreshBlocks()
+	}
+
+	// Foreigner-buffer residents bound for p are consumed now.
+	e.foreignerBufBytes -= int64(len(e.pendingMem[p])-e.flushMark[p]) * walk.StateBytes
+	if e.foreignerBufBytes < 0 {
+		e.foreignerBufBytes = 0
+	}
+	e.flushMark[p] = 0
+	mem := e.pendingMem[p]
+	e.pendingMem[p] = nil
+	fl := e.pendingFlash[p]
+	flBytes := e.pendingFlashBytes[p]
+	e.pendingFlash[p] = nil
+	e.pendingFlashBytes[p] = 0
+
+	e.activeCur = len(mem) + len(fl)
+
+	dispatch := func(ws []wstate) {
+		for i := range ws {
+			e.board.guide(ws[i])
+		}
+	}
+	dispatch(mem)
+	if len(fl) > 0 {
+		// Read the flushed foreigner pages back (striped over chips, the
+		// same way they were written).
+		pages := int((flBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
+		left := pages
+		for i := 0; i < pages; i++ {
+			chip := e.ssd.Chip(e.flushChipRR)
+			e.flushChipRR = (e.flushChipRR + 1) % e.ssd.NumChips()
+			e.ssd.ReadPagesToChannel(chip, 1, func() {
+				left--
+				if left == 0 {
+					dispatch(fl)
+				}
+			})
+		}
+	}
+	if e.activeCur == 0 {
+		// Nothing was pending after all (shouldn't happen, lists checked).
+		e.checkPartitionDone()
+	}
+}
+
+// flushChip picks the next chip for board-side flash writes (round-robin).
+func (e *Engine) flushChip() *flash.Chip {
+	c := e.ssd.Chip(e.flushChipRR)
+	e.flushChipRR = (e.flushChipRR + 1) % e.ssd.NumChips()
+	return c
+}
+
+// inCurrentPartition reports whether block b belongs to the active
+// partition.
+func (e *Engine) inCurrentPartition(b int) bool {
+	return e.part.PartitionOf(b) == e.curPart
+}
+
+// blockScore computes the Eq. 1 critical degree for block b. With
+// SmartSchedule disabled it degrades to the walk count (GraphWalker-style
+// most-walks-first).
+func (e *Engine) blockScore(b int) float64 {
+	pwb := float64(len(e.pwb[b]))
+	fl := float64(len(e.fls[b]))
+	if !e.cfg.Opts.SmartSchedule {
+		return pwb + fl
+	}
+	s := pwb*e.cfg.Alpha + fl
+	if !e.part.Blocks[b].Dense {
+		s *= e.cfg.Beta
+	}
+	return s
+}
+
+// refreshScore recomputes block b's cached score.
+func (e *Engine) refreshScore(b int) {
+	e.score[b] = e.blockScore(b)
+	e.scorePend[b] = 0
+}
+
+// insertPWB places a walk into the partition walk buffer entry of block b,
+// overflowing the entry to flash when it fills (§III-D). chargeDRAM writes
+// the record through the DRAM port.
+func (e *Engine) insertPWB(b int, st wstate) {
+	sz := st.sizeBytes()
+	e.dr.Write(sz, nil)
+	e.pwb[b] = append(e.pwb[b], st)
+	e.pwbBytes[b] += sz
+	if e.pwbBytes[b] > e.cfg.PartitionWalkEntryBytes {
+		e.overflowPWB(b)
+	}
+	e.scorePend[b]++
+	if e.scorePend[b] >= e.cfg.ScoreUpdateEveryM {
+		e.refreshScore(b)
+	}
+	// A chip with an idle slot may now have work.
+	e.chips[e.place.ChipOf(b)].trySchedule()
+}
+
+// overflowPWB flushes block b's walk buffer entry to flash.
+func (e *Engine) overflowPWB(b int) {
+	walks := e.pwb[b]
+	bytes := e.pwbBytes[b]
+	e.pwb[b] = nil
+	e.pwbBytes[b] = 0
+	e.fls[b] = append(e.fls[b], walks...)
+	pages := int((bytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
+	e.flsPages[b] += pages
+	e.res.PWBOverflows++
+	e.emit(trace.PWBOverflow, int64(b), int64(len(walks)))
+	// The entry moves through the chip-level walk-overflow buffer and is
+	// programmed on the block's own chip, so the read-back later is local.
+	e.dr.Read(bytes, nil)
+	e.ssd.ProgramPagesFromBoard(e.ssd.Chip(e.place.ChipOf(b)), pages, nil)
+	e.refreshScore(b)
+}

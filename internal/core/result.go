@@ -1,0 +1,83 @@
+package core
+
+import (
+	"flashwalker/internal/flash"
+	"flashwalker/internal/metrics"
+	"flashwalker/internal/sim"
+)
+
+// Result aggregates a FlashWalker run's outcome and instrumentation.
+type Result struct {
+	// Time is the simulated end-to-end execution time.
+	Time sim.Time
+
+	// Walk outcomes.
+	Started   int
+	Completed int
+	DeadEnded int
+	Hops      uint64
+
+	// Flash / DRAM traffic, copied from the device models at completion.
+	Flash flash.Counters
+	DRAMReadBytes,
+	DRAMWriteBytes int64
+
+	// Routing instrumentation.
+	RovingTransfers   uint64 // chip->channel roving batches
+	RovingWalks       uint64 // walks moved in those batches
+	QueryCacheHits    uint64
+	QueryCacheMisses  uint64
+	TableSearchSteps  uint64 // binary-search steps on the mapping table
+	RangeQueries      uint64 // channel-level approximate searches
+	PreWalks          uint64 // dense-vertex pre-walk decisions
+	FilterProbes      uint64 // edge-bloom probes by second-order sampling
+	HotHitsChannel    uint64 // walks updated in channel-level hot subgraphs
+	HotHitsBoard      uint64 // walks updated in board-level hot subgraphs
+	ChipUpdates       uint64 // walks updated by chip-level accelerators
+	SubgraphLoads     uint64 // subgraph load commands issued to chips
+	SubgraphReloads   uint64 // loads that found the block already resident
+	PWBOverflows      uint64 // partition-walk-buffer entry flushes to flash
+	ForeignerWalks    uint64 // walks classified as foreigners
+	ForeignerFlushes  uint64 // foreigner buffer flushes to flash
+	CompletedFlushes  uint64 // completed-walk buffer flushes
+	GuiderStalls      uint64 // chip guider stalls on a full roving buffer
+	PartitionSwitches uint64
+
+	// Utilizations at completion (0..1).
+	ChipUpdaterUtil    float64
+	ChannelGuiderUtil  float64
+	BoardGuiderUtil    float64
+	ChannelBusUtilMax  float64
+	DRAMPortUtil       float64
+	ChipUpdaterUtilMax float64
+
+	// Visits holds per-vertex visit counts when RunConfig.TrackVisits is
+	// set (start vertices count once; every hop counts its destination).
+	Visits []uint64
+
+	// Optional time series (bin width set by RunConfig.ProgressBin).
+	ReadTS     *metrics.TimeSeries // flash read bytes
+	WriteTS    *metrics.TimeSeries // flash program bytes
+	ChannelTS  *metrics.TimeSeries // channel bus bytes
+	ProgressTS *metrics.TimeSeries // walks finished per bin
+}
+
+// WalksFinished reports completed + dead-ended walks.
+func (r *Result) WalksFinished() int { return r.Completed + r.DeadEnded }
+
+// HopRate reports updated hops per simulated second.
+func (r *Result) HopRate() float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(r.Hops) / r.Time.Seconds()
+}
+
+// QueryCacheHitRate reports the walk query cache hit fraction.
+func (r *Result) QueryCacheHitRate() float64 {
+	tot := r.QueryCacheHits + r.QueryCacheMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.QueryCacheHits) / float64(tot)
+}

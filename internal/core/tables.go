@@ -1,0 +1,107 @@
+package core
+
+import (
+	"flashwalker/internal/graph"
+	"flashwalker/internal/sim"
+)
+
+// queryCache is one walk query cache (§III-D): a tiny LRU of recently
+// resolved subgraph mapping entries. A probe hits when a cached entry's
+// vertex range covers the queried vertex; hot subgraphs therefore stay
+// resident in every cache, which is exactly the locality argument the
+// paper makes (binary-search upper levels + power-law walk skew).
+type queryCache struct {
+	capacity int
+	// entries holds block IDs ordered by recency (front = most recent).
+	entries []cachedEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cachedEntry struct {
+	low, high graph.VertexID
+	blockID   int
+}
+
+func newQueryCache(capacityBytes, entryBytes int64) *queryCache {
+	cap := int(capacityBytes / entryBytes)
+	if cap < 1 {
+		cap = 1
+	}
+	return &queryCache{capacity: cap}
+}
+
+// lookup probes the cache for v, returning the covering block ID on hit.
+func (qc *queryCache) lookup(v graph.VertexID) (blockID int, ok bool) {
+	for i := range qc.entries {
+		e := qc.entries[i]
+		if v >= e.low && v <= e.high {
+			// Move to front (LRU touch).
+			copy(qc.entries[1:i+1], qc.entries[:i])
+			qc.entries[0] = e
+			qc.hits++
+			return e.blockID, true
+		}
+	}
+	qc.misses++
+	return -1, false
+}
+
+// insert caches a resolved entry at the front, evicting the LRU tail.
+func (qc *queryCache) insert(low, high graph.VertexID, blockID int) {
+	e := cachedEntry{low: low, high: high, blockID: blockID}
+	if len(qc.entries) < qc.capacity {
+		qc.entries = append(qc.entries, cachedEntry{})
+	}
+	copy(qc.entries[1:], qc.entries[:len(qc.entries)-1])
+	qc.entries[0] = e
+}
+
+// invalidate clears the cache (used on partition switches: entries map
+// vertices of the old partition's table).
+func (qc *queryCache) invalidate() { qc.entries = qc.entries[:0] }
+
+// unitPool models a pool of identical hardware units (updaters or guiders)
+// as N serializing servers with least-loaded dispatch: a job of the given
+// service time starts on whichever unit frees first.
+type unitPool struct {
+	eng   *sim.Engine
+	units []*sim.Queue
+	jobs  uint64
+	busy  sim.Time
+}
+
+func newUnitPool(eng *sim.Engine, n int) *unitPool {
+	p := &unitPool{eng: eng}
+	for i := 0; i < n; i++ {
+		p.units = append(p.units, sim.NewQueue(eng))
+	}
+	return p
+}
+
+// dispatch schedules a job on the least-busy unit and returns its
+// completion time; done (optional) fires then.
+func (p *unitPool) dispatch(service sim.Time, done func()) sim.Time {
+	best := p.units[0]
+	for _, u := range p.units[1:] {
+		if u.BusyUntil() < best.BusyUntil() {
+			best = u
+		}
+	}
+	p.jobs++
+	p.busy += service
+	return best.Acquire(service, done)
+}
+
+// utilization reports mean unit utilization.
+func (p *unitPool) utilization() float64 {
+	el := p.eng.Now()
+	if el <= 0 {
+		return 0
+	}
+	u := float64(p.busy) / (float64(el) * float64(len(p.units)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"flashwalker/internal/trace"
+)
+
+func TestEngineEmitsTraceEvents(t *testing.T) {
+	g := testGraph(t)
+	rec := trace.NewRecorder()
+	rc := testConfig()
+	rc.Tracer = rec
+	rc.NumWalks = 300
+	res := runEngine(t, g, rc)
+
+	if got := rec.Count(trace.WalkDone); got != uint64(res.WalksFinished()) {
+		t.Fatalf("WalkDone events %d != finished %d", got, res.WalksFinished())
+	}
+	if got := rec.Count(trace.SubgraphLoad); got != res.SubgraphLoads {
+		t.Fatalf("SubgraphLoad events %d != counter %d", got, res.SubgraphLoads)
+	}
+	if got := rec.Count(trace.RovingBatch); got != res.RovingTransfers {
+		t.Fatalf("RovingBatch events %d != counter %d", got, res.RovingTransfers)
+	}
+	if got := rec.Count(trace.PartitionSwitch); got != res.PartitionSwitches {
+		t.Fatalf("PartitionSwitch events %d != counter %d", got, res.PartitionSwitches)
+	}
+}
+
+func TestTraceEventsAreTimeOrdered(t *testing.T) {
+	g := testGraph(t)
+	rec := trace.NewRecorder()
+	rc := testConfig()
+	rc.Tracer = rec
+	rc.NumWalks = 200
+	runEngine(t, g, rc)
+	evs := rec.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order at %d: %v then %v", i, evs[i-1].At, evs[i].At)
+		}
+	}
+	// The first partition switch must precede the first subgraph load.
+	firstSwitch, firstLoad := -1, -1
+	for i, e := range evs {
+		if e.Kind == trace.PartitionSwitch && firstSwitch == -1 {
+			firstSwitch = i
+		}
+		if e.Kind == trace.SubgraphLoad && firstLoad == -1 {
+			firstLoad = i
+		}
+	}
+	if firstSwitch == -1 || firstLoad == -1 || firstSwitch > firstLoad {
+		t.Fatalf("ordering: switch at %d, load at %d", firstSwitch, firstLoad)
+	}
+}
+
+func TestTraceRovingBatchesAccountWalks(t *testing.T) {
+	g := testGraph(t)
+	rec := trace.NewRecorder()
+	rc := testConfig()
+	rc.Tracer = rec
+	rc.NumWalks = 300
+	res := runEngine(t, g, rc)
+	var walks int64
+	for _, e := range rec.Events() {
+		if e.Kind == trace.RovingBatch {
+			if e.B <= 0 {
+				t.Fatal("empty roving batch traced")
+			}
+			walks += e.B
+		}
+	}
+	if uint64(walks) != res.RovingWalks {
+		t.Fatalf("traced roving walks %d != counter %d", walks, res.RovingWalks)
+	}
+}
+
+func TestNoTracerNoOverheadPath(t *testing.T) {
+	// Tracing disabled must not change simulated results.
+	g := testGraph(t)
+	rc := testConfig()
+	a := runEngine(t, g, rc)
+	rc.Tracer = trace.NewRecorder()
+	b := runEngine(t, g, rc)
+	if a.Time != b.Time || a.Hops != b.Hops {
+		t.Fatal("tracing changed the simulation")
+	}
+}

@@ -1,0 +1,435 @@
+// Package flash models the SSD's storage back end with the timing structure
+// that drives the paper's results: per-plane page read/program latency, the
+// per-channel ONFI bus as a serializing resource, and the PCIe link to the
+// host. Geometry and latencies default to Tables I and III.
+//
+// Three data paths are modelled, matching the three consumers:
+//
+//   - Chip-local: a chip-level accelerator reads pages from its own planes
+//     into its subgraph buffer. No channel-bus time — this is the data
+//     movement FlashWalker eliminates.
+//   - Channel: data moves between a chip and the channel-/board-level
+//     accelerators, paying plane latency plus the channel bus transfer.
+//   - Host: data additionally crosses the PCIe link (GraphWalker's path).
+package flash
+
+import (
+	"fmt"
+
+	"flashwalker/internal/metrics"
+	"flashwalker/internal/sim"
+)
+
+// Config describes SSD geometry and timing (Tables I & III).
+type Config struct {
+	Channels        int
+	ChipsPerChannel int
+	DiesPerChip     int
+	PlanesPerDie    int
+	BlocksPerPlane  int
+	PagesPerBlock   int
+	PageBytes       int64
+
+	ReadLatency    sim.Time // page sense time (35 us)
+	ProgramLatency sim.Time // page program time (350 us)
+	EraseLatency   sim.Time // block erase (2 ms)
+
+	ChannelBytesPerSec int64 // ONFI NV-DDR2 (333 MB/s)
+	PCIeBytesPerSec    int64 // host link (1 GB/s x 4 lanes)
+}
+
+// Default returns the configuration of Tables I and III.
+func Default() Config {
+	return Config{
+		Channels:           32,
+		ChipsPerChannel:    4,
+		DiesPerChip:        2,
+		PlanesPerDie:       4,
+		BlocksPerPlane:     2048,
+		PagesPerBlock:      64,
+		PageBytes:          4096,
+		ReadLatency:        35 * sim.Microsecond,
+		ProgramLatency:     350 * sim.Microsecond,
+		EraseLatency:       2 * sim.Millisecond,
+		ChannelBytesPerSec: 333_000_000,
+		PCIeBytesPerSec:    4_000_000_000,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0, c.ChipsPerChannel <= 0, c.DiesPerChip <= 0, c.PlanesPerDie <= 0:
+		return fmt.Errorf("flash: non-positive geometry %+v", c)
+	case c.PageBytes <= 0:
+		return fmt.Errorf("flash: non-positive page size")
+	case c.ReadLatency <= 0 || c.ProgramLatency <= 0:
+		return fmt.Errorf("flash: non-positive latency")
+	case c.ChannelBytesPerSec <= 0 || c.PCIeBytesPerSec <= 0:
+		return fmt.Errorf("flash: non-positive bandwidth")
+	}
+	return nil
+}
+
+// NumChips reports the total chip count.
+func (c Config) NumChips() int { return c.Channels * c.ChipsPerChannel }
+
+// PlanesPerChip reports planes per chip.
+func (c Config) PlanesPerChip() int { return c.DiesPerChip * c.PlanesPerDie }
+
+// CapacityBytes reports the total flash capacity.
+func (c Config) CapacityBytes() int64 {
+	return int64(c.NumChips()) * int64(c.PlanesPerChip()) *
+		int64(c.BlocksPerPlane) * int64(c.PagesPerBlock) * c.PageBytes
+}
+
+// MaxChannelBW reports the theoretical aggregate channel bandwidth
+// (Figure 8's 10.4 GB/s line for 32 channels at 333 MB/s).
+func (c Config) MaxChannelBW() float64 {
+	return float64(c.Channels) * float64(c.ChannelBytesPerSec)
+}
+
+// MaxReadBW reports the theoretical aggregate plane read throughput
+// (Figure 8's 55.8 GB/s line: planes × page / readLatency).
+func (c Config) MaxReadBW() float64 {
+	planes := float64(c.NumChips() * c.PlanesPerChip())
+	return planes * float64(c.PageBytes) / c.ReadLatency.Seconds()
+}
+
+// Counters accumulates traffic.
+type Counters struct {
+	ReadPages    uint64
+	ProgramPages uint64
+	ErasedBlocks uint64
+	ReadBytes    int64 // bytes sensed out of flash arrays
+	WriteBytes   int64 // bytes programmed into flash arrays
+	ChannelBytes int64 // bytes crossing any channel bus
+	HostBytes    int64 // bytes crossing PCIe
+}
+
+// SSD is the simulated device.
+type SSD struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	channels []*Channel
+	pcie     *sim.Queue
+
+	Counters Counters
+
+	// Optional time series, attached by the harness for Figure 8.
+	ReadTS    *metrics.TimeSeries
+	WriteTS   *metrics.TimeSeries
+	ChannelTS *metrics.TimeSeries
+}
+
+// Channel is one flash channel: a serializing bus plus chips.
+type Channel struct {
+	ID    int
+	Bus   *sim.Queue
+	Chips []*Chip
+}
+
+// Chip is one flash chip; its planes serve page operations independently.
+type Chip struct {
+	Channel *Channel
+	ID      int // global chip index
+	planes  []*sim.Queue
+	next    int // round-robin plane cursor
+}
+
+// New builds an SSD on the engine.
+func New(eng *sim.Engine, cfg Config) (*SSD, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SSD{Eng: eng, Cfg: cfg, pcie: sim.NewQueue(eng)}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		c := &Channel{ID: ch, Bus: sim.NewQueue(eng)}
+		for k := 0; k < cfg.ChipsPerChannel; k++ {
+			chip := &Chip{
+				Channel: c,
+				ID:      ch*cfg.ChipsPerChannel + k,
+				planes:  make([]*sim.Queue, cfg.PlanesPerChip()),
+			}
+			for p := range chip.planes {
+				chip.planes[p] = sim.NewQueue(eng)
+			}
+			c.Chips = append(c.Chips, chip)
+		}
+		s.channels = append(s.channels, c)
+	}
+	return s, nil
+}
+
+// Channel returns channel ch.
+func (s *SSD) Channel(ch int) *Channel { return s.channels[ch] }
+
+// Chip returns the chip with global index idx.
+func (s *SSD) Chip(idx int) *Chip {
+	return s.channels[idx/s.Cfg.ChipsPerChannel].Chips[idx%s.Cfg.ChipsPerChannel]
+}
+
+// NumChips reports the chip count.
+func (s *SSD) NumChips() int { return s.Cfg.NumChips() }
+
+func (s *SSD) recordRead(at sim.Time, bytes int64) {
+	s.Counters.ReadPages++
+	s.Counters.ReadBytes += bytes
+	if s.ReadTS != nil {
+		s.ReadTS.Add(at, float64(bytes))
+	}
+}
+
+func (s *SSD) recordWrite(at sim.Time, bytes int64) {
+	s.Counters.ProgramPages++
+	s.Counters.WriteBytes += bytes
+	if s.WriteTS != nil {
+		s.WriteTS.Add(at, float64(bytes))
+	}
+}
+
+func (s *SSD) recordChannel(at sim.Time, bytes int64) {
+	s.Counters.ChannelBytes += bytes
+	if s.ChannelTS != nil {
+		s.ChannelTS.Add(at, float64(bytes))
+	}
+}
+
+// fanOut invokes done once after n completions.
+func fanOut(n int, done func()) func() {
+	if n <= 0 {
+		panic("flash: fanOut over zero events")
+	}
+	remaining := n
+	return func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+}
+
+// ReadPagesLocal reads n pages from the chip's planes into the chip-level
+// accelerator. Pages round-robin across planes; each plane senses serially
+// at ReadLatency per page. done fires when the last page is available.
+// The channel bus is NOT used: this is the in-storage path.
+func (s *SSD) ReadPagesLocal(chip *Chip, n int, done func()) {
+	if n <= 0 {
+		if done != nil {
+			s.Eng.After(0, done)
+		}
+		return
+	}
+	each := fanOut(n, done)
+	for i := 0; i < n; i++ {
+		pl := chip.planes[chip.next]
+		chip.next = (chip.next + 1) % len(chip.planes)
+		pageBytes := s.Cfg.PageBytes
+		end := pl.Acquire(s.Cfg.ReadLatency, nil)
+		s.Eng.At(end, func() {
+			s.recordRead(end, pageBytes)
+			each()
+		})
+	}
+}
+
+// ReadPagesToChannel reads n pages and transfers each over the channel bus
+// to the channel-level (or board-level) accelerator. done fires when the
+// last page has crossed the bus.
+func (s *SSD) ReadPagesToChannel(chip *Chip, n int, done func()) {
+	if n <= 0 {
+		if done != nil {
+			s.Eng.After(0, done)
+		}
+		return
+	}
+	each := fanOut(n, done)
+	xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
+	for i := 0; i < n; i++ {
+		pl := chip.planes[chip.next]
+		chip.next = (chip.next + 1) % len(chip.planes)
+		sensed := pl.Acquire(s.Cfg.ReadLatency, nil)
+		pageBytes := s.Cfg.PageBytes
+		s.Eng.At(sensed, func() {
+			s.recordRead(sensed, pageBytes)
+			onBus := chip.Channel.Bus.AcquireAfter(sensed, xfer, nil)
+			s.Eng.At(onBus, func() {
+				s.recordChannel(onBus, pageBytes)
+				each()
+			})
+		})
+	}
+}
+
+// ReadPagesToHost reads n pages and moves them over the channel bus and the
+// PCIe link to the host (the GraphWalker path). done fires when the last
+// page reaches host memory.
+func (s *SSD) ReadPagesToHost(chip *Chip, n int, done func()) {
+	if n <= 0 {
+		if done != nil {
+			s.Eng.After(0, done)
+		}
+		return
+	}
+	each := fanOut(n, done)
+	chXfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
+	pcieXfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.PCIeBytesPerSec)
+	for i := 0; i < n; i++ {
+		pl := chip.planes[chip.next]
+		chip.next = (chip.next + 1) % len(chip.planes)
+		sensed := pl.Acquire(s.Cfg.ReadLatency, nil)
+		pageBytes := s.Cfg.PageBytes
+		s.Eng.At(sensed, func() {
+			s.recordRead(sensed, pageBytes)
+			onBus := chip.Channel.Bus.AcquireAfter(sensed, chXfer, nil)
+			s.Eng.At(onBus, func() {
+				s.recordChannel(onBus, pageBytes)
+				onHost := s.pcie.AcquireAfter(onBus, pcieXfer, nil)
+				s.Eng.At(onHost, func() {
+					s.Counters.HostBytes += pageBytes
+					each()
+				})
+			})
+		})
+	}
+}
+
+// ProgramPagesLocal programs n pages on the chip's planes (data already at
+// the chip — e.g. a chip-level accelerator flushing its overflow buffer).
+func (s *SSD) ProgramPagesLocal(chip *Chip, n int, done func()) {
+	if n <= 0 {
+		if done != nil {
+			s.Eng.After(0, done)
+		}
+		return
+	}
+	each := fanOut(n, done)
+	for i := 0; i < n; i++ {
+		pl := chip.planes[chip.next]
+		chip.next = (chip.next + 1) % len(chip.planes)
+		end := pl.Acquire(s.Cfg.ProgramLatency, nil)
+		pageBytes := s.Cfg.PageBytes
+		s.Eng.At(end, func() {
+			s.recordWrite(end, pageBytes)
+			each()
+		})
+	}
+}
+
+// ProgramPagesFromBoard moves n pages from the board over the channel bus
+// to the chip and programs them (the board flushing overflow / completed /
+// foreigner walks to flash, §III-D).
+func (s *SSD) ProgramPagesFromBoard(chip *Chip, n int, done func()) {
+	if n <= 0 {
+		if done != nil {
+			s.Eng.After(0, done)
+		}
+		return
+	}
+	each := fanOut(n, done)
+	xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
+	for i := 0; i < n; i++ {
+		pageBytes := s.Cfg.PageBytes
+		onChip := chip.Channel.Bus.Acquire(xfer, nil)
+		s.Eng.At(onChip, func() {
+			s.recordChannel(onChip, pageBytes)
+			pl := chip.planes[chip.next]
+			chip.next = (chip.next + 1) % len(chip.planes)
+			end := pl.AcquireAfter(onChip, s.Cfg.ProgramLatency, nil)
+			s.Eng.At(end, func() {
+				s.recordWrite(end, pageBytes)
+				each()
+			})
+		})
+	}
+}
+
+// TransferChannel occupies the chip's channel bus for an arbitrary payload
+// (roving walks moving chip->channel or commands/walks moving down). done
+// fires when the transfer completes.
+func (s *SSD) TransferChannel(ch *Channel, bytes int64, done func()) {
+	if bytes <= 0 {
+		if done != nil {
+			s.Eng.After(0, done)
+		}
+		return
+	}
+	xfer := sim.TransferTime(bytes, s.Cfg.ChannelBytesPerSec)
+	end := ch.Bus.Acquire(xfer, nil)
+	s.Eng.At(end, func() {
+		s.recordChannel(end, bytes)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// TransferHost occupies the PCIe link for an arbitrary payload.
+func (s *SSD) TransferHost(bytes int64, done func()) {
+	if bytes <= 0 {
+		if done != nil {
+			s.Eng.After(0, done)
+		}
+		return
+	}
+	xfer := sim.TransferTime(bytes, s.Cfg.PCIeBytesPerSec)
+	end := s.pcie.Acquire(xfer, nil)
+	s.Eng.At(end, func() {
+		s.Counters.HostBytes += bytes
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// ReadPageAt senses one page on a specific plane of a chip (used by the
+// FTL, which tracks physical placement itself). done fires when the page
+// is in the plane register; no bus time is charged.
+func (s *SSD) ReadPageAt(chipIdx, plane int, done func()) {
+	chip := s.Chip(chipIdx)
+	pl := chip.planes[plane]
+	end := pl.Acquire(s.Cfg.ReadLatency, nil)
+	pageBytes := s.Cfg.PageBytes
+	s.Eng.At(end, func() {
+		s.recordRead(end, pageBytes)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// ProgramPageAt programs one page on a specific plane of a chip.
+func (s *SSD) ProgramPageAt(chipIdx, plane int, done func()) {
+	chip := s.Chip(chipIdx)
+	pl := chip.planes[plane]
+	end := pl.Acquire(s.Cfg.ProgramLatency, nil)
+	pageBytes := s.Cfg.PageBytes
+	s.Eng.At(end, func() {
+		s.recordWrite(end, pageBytes)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// EraseBlockAt erases one block on a specific plane of a chip.
+func (s *SSD) EraseBlockAt(chipIdx, plane int, done func()) {
+	chip := s.Chip(chipIdx)
+	pl := chip.planes[plane]
+	end := pl.Acquire(s.Cfg.EraseLatency, nil)
+	s.Eng.At(end, func() {
+		s.Counters.ErasedBlocks++
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// PagesFor reports how many pages a payload of the given size occupies.
+func (s *SSD) PagesFor(bytes int64) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return int((bytes + s.Cfg.PageBytes - 1) / s.Cfg.PageBytes)
+}

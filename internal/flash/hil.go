@@ -1,0 +1,133 @@
+package flash
+
+import (
+	"fmt"
+
+	"flashwalker/internal/sim"
+)
+
+// HIL models the host-interface logic of §II-C: an NVMe-style submission /
+// completion path in front of the FTL. Commands queue up to a bounded
+// depth, pay a fixed controller processing latency, execute against the
+// FTL, and complete back to the host over PCIe.
+//
+// GraphWalker-style host I/O goes through this layer in a real device; the
+// in-storage accelerators do not (their commands ride the extended ONFI
+// protocol on the channel buses instead, §III-C).
+type HIL struct {
+	ssd *SSD
+	ftl *FTL
+
+	// queueDepth bounds outstanding commands (NVMe queue depth).
+	queueDepth int
+	inFlight   int
+	waiting    []queuedCmd
+
+	// procLatency is the controller's per-command processing time
+	// (firmware decode + dispatch).
+	procLatency sim.Time
+
+	Stats HILStats
+}
+
+type queuedCmd struct {
+	write bool
+	lpn   int64
+	done  func(error)
+}
+
+// HILStats counts command traffic.
+type HILStats struct {
+	Submitted uint64
+	Completed uint64
+	Rejected  uint64 // malformed commands (bad LPN, device full)
+	MaxQueued int
+}
+
+// NewHIL builds the host interface over an FTL.
+func NewHIL(ssd *SSD, ftl *FTL, queueDepth int, procLatency sim.Time) (*HIL, error) {
+	if queueDepth <= 0 {
+		return nil, fmt.Errorf("flash: queue depth %d <= 0", queueDepth)
+	}
+	if procLatency < 0 {
+		return nil, fmt.Errorf("flash: negative processing latency")
+	}
+	return &HIL{ssd: ssd, ftl: ftl, queueDepth: queueDepth, procLatency: procLatency}, nil
+}
+
+// SubmitRead enqueues a one-page read command; done fires with the
+// command's outcome after data has crossed PCIe.
+func (h *HIL) SubmitRead(lpn int64, done func(error)) {
+	h.submit(queuedCmd{write: false, lpn: lpn, done: done})
+}
+
+// SubmitWrite enqueues a one-page write command; done fires after the
+// program completes.
+func (h *HIL) SubmitWrite(lpn int64, done func(error)) {
+	h.submit(queuedCmd{write: true, lpn: lpn, done: done})
+}
+
+func (h *HIL) submit(c queuedCmd) {
+	h.Stats.Submitted++
+	if h.inFlight >= h.queueDepth {
+		h.waiting = append(h.waiting, c)
+		if len(h.waiting) > h.Stats.MaxQueued {
+			h.Stats.MaxQueued = len(h.waiting)
+		}
+		return
+	}
+	h.start(c)
+}
+
+func (h *HIL) start(c queuedCmd) {
+	h.inFlight++
+	h.ssd.Eng.After(h.procLatency, func() {
+		h.execute(c)
+	})
+}
+
+func (h *HIL) execute(c queuedCmd) {
+	finish := func(err error) {
+		if err != nil {
+			h.Stats.Rejected++
+			h.complete(c, err)
+			return
+		}
+		h.complete(c, nil)
+	}
+	if c.write {
+		// Data moves host -> device over PCIe, then programs via the FTL.
+		h.ssd.TransferHost(h.ssd.Cfg.PageBytes, func() {
+			if err := h.ftl.Write(c.lpn, func() { finish(nil) }); err != nil {
+				finish(err)
+			}
+		})
+		return
+	}
+	// Read: sense via the FTL, then move device -> host over PCIe.
+	err := h.ftl.Read(c.lpn, func() {
+		h.ssd.TransferHost(h.ssd.Cfg.PageBytes, func() { finish(nil) })
+	})
+	if err != nil {
+		finish(err)
+	}
+}
+
+func (h *HIL) complete(c queuedCmd, err error) {
+	h.Stats.Completed++
+	h.inFlight--
+	if len(h.waiting) > 0 {
+		next := h.waiting[0]
+		h.waiting = h.waiting[1:]
+		h.start(next)
+	}
+	if c.done != nil {
+		c.done(err)
+	}
+}
+
+// InFlight reports commands currently being processed.
+func (h *HIL) InFlight() int { return h.inFlight }
+
+// QueuedCommands reports commands waiting for a queue slot.
+func (h *HIL) QueuedCommands() int { return len(h.waiting) }

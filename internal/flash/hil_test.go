@@ -1,0 +1,145 @@
+package flash
+
+import (
+	"testing"
+
+	"flashwalker/internal/sim"
+)
+
+func newHIL(t *testing.T, depth int) (*sim.Engine, *SSD, *HIL) {
+	t.Helper()
+	eng := sim.New()
+	ssd, err := New(eng, ftlCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftl, err := NewFTL(ssd, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHIL(ssd, ftl, depth, 5*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ssd, h
+}
+
+func TestHILRejectsBadParams(t *testing.T) {
+	eng := sim.New()
+	ssd, _ := New(eng, ftlCfg())
+	ftl, _ := NewFTL(ssd, 32)
+	if _, err := NewHIL(ssd, ftl, 0, 1); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	if _, err := NewHIL(ssd, ftl, 4, -1); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestHILWriteThenRead(t *testing.T) {
+	eng, _, h := newHIL(t, 8)
+	var writeErr, readErr error
+	gotRead := false
+	h.SubmitWrite(3, func(err error) {
+		writeErr = err
+		h.SubmitRead(3, func(err error) {
+			readErr = err
+			gotRead = true
+		})
+	})
+	eng.Run()
+	if writeErr != nil || readErr != nil {
+		t.Fatalf("errors: %v %v", writeErr, readErr)
+	}
+	if !gotRead {
+		t.Fatal("read never completed")
+	}
+	if h.Stats.Completed != 2 || h.Stats.Submitted != 2 {
+		t.Fatalf("stats %+v", h.Stats)
+	}
+}
+
+func TestHILReadUnmappedFails(t *testing.T) {
+	eng, _, h := newHIL(t, 8)
+	var got error
+	h.SubmitRead(9, func(err error) { got = err })
+	eng.Run()
+	if got == nil {
+		t.Fatal("unmapped read succeeded")
+	}
+	if h.Stats.Rejected != 1 {
+		t.Fatalf("Rejected = %d", h.Stats.Rejected)
+	}
+}
+
+func TestHILQueueDepthEnforced(t *testing.T) {
+	eng, _, h := newHIL(t, 2)
+	done := 0
+	for i := int64(0); i < 10; i++ {
+		h.SubmitWrite(i, func(err error) {
+			if err != nil {
+				t.Errorf("write failed: %v", err)
+			}
+			done++
+		})
+	}
+	if h.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", h.InFlight())
+	}
+	if h.QueuedCommands() != 8 {
+		t.Fatalf("Queued = %d, want 8", h.QueuedCommands())
+	}
+	if h.Stats.MaxQueued != 8 {
+		t.Fatalf("MaxQueued = %d", h.Stats.MaxQueued)
+	}
+	eng.Run()
+	if done != 10 {
+		t.Fatalf("completed %d of 10", done)
+	}
+	if h.InFlight() != 0 || h.QueuedCommands() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestHILCommandLatencyApplied(t *testing.T) {
+	eng, ssd, h := newHIL(t, 8)
+	var at sim.Time
+	h.SubmitWrite(0, func(error) { at = eng.Now() })
+	eng.Run()
+	// proc latency + PCIe page transfer + program latency.
+	min := 5*sim.Microsecond + ssd.Cfg.ProgramLatency
+	if at < min {
+		t.Fatalf("write completed at %v, before minimum %v", at, min)
+	}
+}
+
+func TestHILPCIeCharged(t *testing.T) {
+	eng, ssd, h := newHIL(t, 8)
+	h.SubmitWrite(1, nil)
+	eng.Run()
+	if ssd.Counters.HostBytes != ssd.Cfg.PageBytes {
+		t.Fatalf("HostBytes = %d", ssd.Counters.HostBytes)
+	}
+	h.SubmitRead(1, nil)
+	eng.Run()
+	if ssd.Counters.HostBytes != 2*ssd.Cfg.PageBytes {
+		t.Fatalf("HostBytes after read = %d", ssd.Counters.HostBytes)
+	}
+}
+
+func TestHILManyCommandsDrain(t *testing.T) {
+	eng, _, h := newHIL(t, 4)
+	completed := 0
+	for i := 0; i < 200; i++ {
+		lpn := int64(i % 24)
+		if i%2 == 0 {
+			h.SubmitWrite(lpn, func(error) { completed++ })
+		} else {
+			h.SubmitRead(lpn, func(error) { completed++ })
+		}
+	}
+	eng.Run()
+	if completed != 200 {
+		t.Fatalf("completed %d of 200", completed)
+	}
+}

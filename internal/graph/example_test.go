@@ -1,0 +1,45 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"flashwalker/internal/graph"
+)
+
+// Build a small graph by hand and inspect its CSR structure.
+func ExampleBuilder() {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g, _ := b.Build()
+	fmt.Println("vertices:", g.NumVertices())
+	fmt.Println("edges:", g.NumEdges())
+	fmt.Println("out(0):", g.OutEdges(0))
+	// Output:
+	// vertices: 4
+	// edges: 3
+	// out(0): [1 2]
+}
+
+// Generate a deterministic synthetic graph.
+func ExampleRMAT() {
+	g, _ := graph.RMAT(graph.DefaultRMAT(256, 1024, 7))
+	s := graph.ComputeStats(g)
+	fmt.Println("vertices:", s.NumVertices)
+	fmt.Println("edges >= 1000:", s.NumEdges >= 1000)
+	// Output:
+	// vertices: 256
+	// edges >= 1000: true
+}
+
+// Reverse transposes every edge.
+func ExampleReverse() {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g, _ := b.Build()
+	r := graph.Reverse(g)
+	fmt.Println("reversed out(1):", r.OutEdges(1))
+	// Output:
+	// reversed out(1): [0]
+}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the text parser: arbitrary input must either
+// parse into a valid graph or return an error — never panic, never yield a
+// graph failing Validate.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 6 0.5\n")
+	f.Add("")
+	f.Add("0 1 2 3 4\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("1 2 -1\n")
+	f.Add("0 0\n0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed graph fails validation: %v", verr)
+		}
+	})
+}
+
+// FuzzRead hardens the binary decoder against corrupt files.
+func FuzzRead(f *testing.F) {
+	// Seed with a genuine file and mutations of it.
+	var buf bytes.Buffer
+	if err := Write(&buf, Ring(16)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("FWGRAPH1garbage"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 20 {
+		corrupt[18] ^= 0xff
+	}
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("decoded graph fails validation: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"flashwalker/internal/rng"
+)
+
+// RMATConfig parameterizes the R-MAT generator (the model PaRMAT
+// implements, used for the paper's R2B/R8B synthetic graphs).
+type RMATConfig struct {
+	// NumVertices is rounded up to a power of two internally; generated IDs
+	// are then mapped back into [0, NumVertices).
+	NumVertices uint64
+	NumEdges    uint64
+	// Quadrant probabilities; must sum to ~1. PaRMAT defaults: 0.45, 0.22,
+	// 0.22, 0.11.
+	A, B, C, D float64
+	// Noise perturbs the quadrant probabilities per level, as PaRMAT's
+	// smoothing does, preventing degenerate diagonal artifacts.
+	Noise float64
+	// RemoveDuplicates drops exact duplicate edges (PaRMAT's -noDuplicateEdges).
+	RemoveDuplicates bool
+	// Weighted assigns uniform random weights in (0, 1].
+	Weighted bool
+	Seed     uint64
+}
+
+// DefaultRMAT returns PaRMAT-default parameters for the given size.
+func DefaultRMAT(v, e uint64, seed uint64) RMATConfig {
+	return RMATConfig{
+		NumVertices: v, NumEdges: e,
+		A: 0.45, B: 0.22, C: 0.22, D: 0.11,
+		Noise: 0.05, RemoveDuplicates: true, Seed: seed,
+	}
+}
+
+// RMAT generates a directed graph with the recursive-matrix model.
+func RMAT(cfg RMATConfig) (*Graph, error) {
+	if cfg.NumVertices == 0 {
+		return nil, fmt.Errorf("graph: RMAT with zero vertices")
+	}
+	sum := cfg.A + cfg.B + cfg.C + cfg.D
+	if sum < 0.99 || sum > 1.01 {
+		return nil, fmt.Errorf("graph: RMAT probabilities sum to %v, want 1", sum)
+	}
+	levels := 0
+	pow := uint64(1)
+	for pow < cfg.NumVertices {
+		pow <<= 1
+		levels++
+	}
+	r := rng.New(cfg.Seed)
+	b := NewBuilder(cfg.NumVertices)
+	seen := map[uint64]struct{}{}
+	attempts := uint64(0)
+	maxAttempts := cfg.NumEdges*20 + 1000
+	for uint64(b.NumEdges()) < cfg.NumEdges {
+		attempts++
+		if attempts > maxAttempts {
+			// Dense duplicate-heavy corner: give up removing duplicates and
+			// accept what we have rather than loop forever.
+			break
+		}
+		var src, dst uint64
+		for l := 0; l < levels; l++ {
+			a, bb, c := cfg.A, cfg.B, cfg.C
+			if cfg.Noise > 0 {
+				// Symmetric per-level perturbation, renormalized.
+				na := a * (1 - cfg.Noise + 2*cfg.Noise*r.Float64())
+				nb := bb * (1 - cfg.Noise + 2*cfg.Noise*r.Float64())
+				nc := c * (1 - cfg.Noise + 2*cfg.Noise*r.Float64())
+				nd := cfg.D * (1 - cfg.Noise + 2*cfg.Noise*r.Float64())
+				tot := na + nb + nc + nd
+				a, bb, c = na/tot, nb/tot, nc/tot
+			}
+			u := r.Float64()
+			switch {
+			case u < a:
+				// top-left: no bits set
+			case u < a+bb:
+				dst |= 1 << l
+			case u < a+bb+c:
+				src |= 1 << l
+			default:
+				src |= 1 << l
+				dst |= 1 << l
+			}
+		}
+		src %= cfg.NumVertices
+		dst %= cfg.NumVertices
+		if cfg.RemoveDuplicates {
+			key := src*cfg.NumVertices + dst
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+		}
+		if cfg.Weighted {
+			b.AddWeightedEdge(src, dst, float32(r.Float64())+1e-6)
+		} else {
+			b.AddEdge(src, dst)
+		}
+	}
+	return b.Build()
+}
+
+// PowerLawConfig parameterizes a Chung-Lu style power-law generator: vertex
+// v's expected out-degree is proportional to (v+1)^(-alpha), then vertex IDs
+// are shuffled so degree does not correlate with ID.
+type PowerLawConfig struct {
+	NumVertices uint64
+	NumEdges    uint64
+	Alpha       float64 // skew exponent; 0.6-0.9 resembles social graphs
+	Weighted    bool
+	Seed        uint64
+}
+
+// PowerLaw generates a directed power-law graph.
+func PowerLaw(cfg PowerLawConfig) (*Graph, error) {
+	if cfg.NumVertices == 0 {
+		return nil, fmt.Errorf("graph: PowerLaw with zero vertices")
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 0.7
+	}
+	r := rng.New(cfg.Seed)
+	n := cfg.NumVertices
+	// Build the cumulative degree-weight table.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := uint64(0); i < n; i++ {
+		acc += math.Pow(float64(i+1), -cfg.Alpha)
+		cum[i] = acc
+	}
+	total := acc
+	// Random relabeling so hot vertices are spread over the ID space.
+	label := make([]int, n)
+	r.Perm(label)
+	sample := func() VertexID {
+		u := r.Float64() * total
+		lo, hi := 0, int(n)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return VertexID(label[lo])
+	}
+	b := NewBuilder(n)
+	for uint64(b.NumEdges()) < cfg.NumEdges {
+		src := sample()
+		dst := VertexID(r.Uint64n(n))
+		if cfg.Weighted {
+			b.AddWeightedEdge(src, dst, float32(r.Float64())+1e-6)
+		} else {
+			b.AddEdge(src, dst)
+		}
+	}
+	return b.Build()
+}
+
+// Uniform generates an Erdős–Rényi-style directed graph with exactly
+// numEdges uniformly random edges.
+func Uniform(numVertices, numEdges, seed uint64) (*Graph, error) {
+	if numVertices == 0 {
+		return nil, fmt.Errorf("graph: Uniform with zero vertices")
+	}
+	r := rng.New(seed)
+	b := NewBuilder(numVertices)
+	for uint64(b.NumEdges()) < numEdges {
+		b.AddEdge(VertexID(r.Uint64n(numVertices)), VertexID(r.Uint64n(numVertices)))
+	}
+	return b.Build()
+}
+
+// Ring generates a cycle graph: v -> (v+1) mod n. Useful in tests because
+// every walk's trajectory is fully determined.
+func Ring(numVertices uint64) *Graph {
+	b := NewBuilder(numVertices)
+	for v := uint64(0); v < numVertices; v++ {
+		b.AddEdge(v, (v+1)%numVertices)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err) // cannot fail: all endpoints in range
+	}
+	return g
+}
+
+// Complete generates a complete directed graph without self-loops.
+func Complete(numVertices uint64) *Graph {
+	b := NewBuilder(numVertices)
+	for u := uint64(0); u < numVertices; u++ {
+		for v := uint64(0); v < numVertices; v++ {
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Star generates a hub-and-spoke graph: the hub (vertex 0) points at every
+// spoke and every spoke points back. Vertex 0 is a guaranteed dense vertex,
+// which exercises the pre-walking path.
+func Star(numSpokes uint64) *Graph {
+	b := NewBuilder(numSpokes + 1)
+	for v := uint64(1); v <= numSpokes; v++ {
+		b.AddEdge(0, v)
+		b.AddEdge(v, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"flashwalker/internal/sim"
+)
+
+// CSV export: each figure's rows in a machine-readable form so external
+// plotting tools can redraw the paper's charts.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string   { return strconv.FormatFloat(v, 'g', 8, 64) }
+func ns(t sim.Time) string { return strconv.FormatInt(int64(t), 10) }
+
+// Fig1CSV writes Figure 1 rows as CSV.
+func Fig1CSV(w io.Writer, rows []Fig1Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.Walks), ns(r.Total),
+			f(r.LoadGraph), f(r.Update), f(r.WalkIO),
+		}
+	}
+	return writeCSV(w, []string{"walks", "total_ns", "load_graph_frac", "update_frac", "walk_io_frac"}, out)
+}
+
+// Fig5CSV writes Figure 5 rows as CSV.
+func Fig5CSV(w io.Writer, rows []Fig5Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Dataset, strconv.Itoa(r.Walks),
+			ns(r.FWTime), ns(r.GWTime), f(r.Speedup),
+		}
+	}
+	return writeCSV(w, []string{"dataset", "walks", "flashwalker_ns", "graphwalker_ns", "speedup"}, out)
+}
+
+// Fig6CSV writes Figure 6 rows as CSV.
+func Fig6CSV(w io.Writer, rows []Fig6Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Dataset, strconv.Itoa(r.Walks),
+			strconv.FormatInt(r.FWReadBytes, 10), strconv.FormatInt(r.GWReadBytes, 10),
+			f(r.TrafficReduction), f(r.FWBandwidth), f(r.GWBandwidth), f(r.BandwidthGain),
+		}
+	}
+	return writeCSV(w, []string{
+		"dataset", "walks", "fw_read_bytes", "gw_read_bytes",
+		"traffic_reduction", "fw_bw_bps", "gw_bw_bps", "bw_gain",
+	}, out)
+}
+
+// Fig7CSV writes Figure 7 rows as CSV.
+func Fig7CSV(w io.Writer, rows []Fig7Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, r.MemLabel, strconv.FormatInt(r.MemBytes, 10), f(r.Speedup)}
+	}
+	return writeCSV(w, []string{"dataset", "gw_memory", "gw_memory_bytes", "speedup"}, out)
+}
+
+// Fig8CSV writes a Figure 8 series as CSV (one row per bin).
+func Fig8CSV(w io.Writer, s *Fig8Series) error {
+	out := make([][]string, len(s.ReadBW))
+	for i := range s.ReadBW {
+		out[i] = []string{
+			ns(sim.Time(i) * s.Bin),
+			f(s.ReadBW[i]), f(s.WriteBW[i]), f(s.ChanBW[i]), f(s.Progress[i]),
+		}
+	}
+	return writeCSV(w, []string{"t_ns", "read_bps", "write_bps", "channel_bps", "progress"}, out)
+}
+
+// Fig9CSV writes Figure 9 rows as CSV.
+func Fig9CSV(w io.Writer, rows []Fig9Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Dataset, strconv.Itoa(r.Walks), ns(r.BaseTime),
+			f(r.WQ), f(r.WQHS), f(r.WQHSSS),
+		}
+	}
+	return writeCSV(w, []string{"dataset", "walks", "baseline_ns", "wq", "wq_hs", "wq_hs_ss"}, out)
+}
+
+// EnergyCSV writes the energy-extension rows as CSV.
+func EnergyCSV(w io.Writer, rows []EnergyRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, strconv.Itoa(r.Walks), f(r.FWJ), f(r.GWJ), f(r.Ratio)}
+	}
+	return writeCSV(w, []string{"dataset", "walks", "fw_joules", "gw_joules", "ratio"}, out)
+}
+
+// Table4CSV writes Table IV rows as CSV.
+func Table4CSV(w io.Writer, rows []Table4Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Name, r.Mirrors,
+			strconv.FormatUint(r.V, 10), strconv.FormatUint(r.E, 10),
+			strconv.FormatInt(r.CSRBytes, 10), strconv.FormatInt(r.TextEst, 10),
+			strconv.FormatUint(r.MaxDeg, 10), fmt.Sprintf("%.4f", r.Gini),
+		}
+	}
+	return writeCSV(w, []string{
+		"dataset", "mirrors", "vertices", "edges", "csr_bytes", "text_bytes_est", "max_out_degree", "gini",
+	}, out)
+}

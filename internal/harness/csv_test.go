@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"flashwalker/internal/core"
+	"flashwalker/internal/sim"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse CSV: %v", err)
+	}
+	return rows
+}
+
+func TestFig1CSV(t *testing.T) {
+	rows := []Fig1Row{{Walks: 100, Total: sim.Millisecond, LoadGraph: 0.7, Update: 0.2, WalkIO: 0.1}}
+	var buf bytes.Buffer
+	if err := Fig1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if len(got) != 2 || got[1][0] != "100" || got[1][1] != "1000000" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	rows := []Fig5Row{{Dataset: "TT-S", Walks: 10, FWTime: 1, GWTime: 5, Speedup: 5}}
+	var buf bytes.Buffer
+	if err := Fig5CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][0] != "TT-S" || got[1][4] != "5" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	rows := []Fig6Row{{Dataset: "FS-S", Walks: 5, FWReadBytes: 100, GWReadBytes: 200, TrafficReduction: 2}}
+	var buf bytes.Buffer
+	if err := Fig6CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][2] != "100" || got[1][4] != "2" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	rows := []Fig7Row{{Dataset: "CW-S", MemLabel: "8GB", MemBytes: GWMem8GB, Speedup: 3.5}}
+	var buf bytes.Buffer
+	if err := Fig7CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][1] != "8GB" || got[1][3] != "3.5" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	s := &Fig8Series{
+		Bin:      sim.Microsecond,
+		ReadBW:   []float64{1, 2},
+		WriteBW:  []float64{3, 4},
+		ChanBW:   []float64{5, 6},
+		Progress: []float64{0.5, 1},
+	}
+	var buf bytes.Buffer
+	if err := Fig8CSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if len(got) != 3 || got[2][0] != "1000" || got[2][4] != "1" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestFig9CSV(t *testing.T) {
+	rows := []Fig9Row{{Dataset: "R2B-S", Walks: 7, BaseTime: 2, WQ: 1.1, WQHS: 1.2, WQHSSS: 1.3}}
+	var buf bytes.Buffer
+	if err := Fig9CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][3] != "1.1" || got[1][5] != "1.3" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestEnergyCSV(t *testing.T) {
+	rows := []EnergyRow{{Dataset: "TT-S", Walks: 3, FWJ: 0.5, GWJ: 1.5, Ratio: 3, FWBreak: core.Energy{}}}
+	var buf bytes.Buffer
+	if err := EnergyCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][2] != "0.5" || got[1][4] != "3" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestTable4CSV(t *testing.T) {
+	rows := []Table4Row{{Name: "X", Mirrors: "Y", V: 1, E: 2, CSRBytes: 3, TextEst: 4, MaxDeg: 5, Gini: 0.5}}
+	var buf bytes.Buffer
+	if err := Table4CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "X,Y,1,2,3,4,5,0.5000") {
+		t.Fatalf("csv = %q", out)
+	}
+}

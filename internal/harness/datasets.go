@@ -1,0 +1,162 @@
+// Package harness binds the engines to the paper's evaluation: it defines
+// the scaled dataset registry (Table IV analogues), derives proportionally
+// scaled engine configurations, and regenerates every table and figure of
+// the evaluation section.
+//
+// Scaling rule (DESIGN.md §5): the paper's graphs are ~4096× larger than
+// the analogues here, so GraphWalker's memory, GraphWalker's block size,
+// FlashWalker's subgraph size and the walk counts are divided by the same
+// factor; SSD geometry and accelerator cycle times are kept at their
+// Table I/II/III values because they are the physics being studied, not
+// the workload.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"flashwalker/internal/graph"
+)
+
+// Dataset is one scaled analogue of a Table IV graph.
+type Dataset struct {
+	// Name is the short code used throughout the paper (TT, FS, CW, R2B,
+	// R8B) with an -S suffix marking the scaled analogue.
+	Name string
+	// Mirrors names the paper's original dataset.
+	Mirrors string
+	// IDBytes is the vertex ID width (8 for ClueWeb, 4 otherwise).
+	IDBytes int
+	// SubgraphBytes is FlashWalker's graph-block size for this dataset
+	// (paper: 256 KB, 512 KB for ClueWeb; scaled by 1/64 to 4/8 KiB so a
+	// block is 1-2 flash pages).
+	SubgraphBytes int64
+	// DefaultWalks is the scaled analogue of the paper's fixed walk count
+	// (4x10^8, 10^9 for ClueWeb).
+	DefaultWalks int
+	// Gen generates the graph.
+	Gen func() (*graph.Graph, error)
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*graph.Graph{}
+)
+
+// Graph returns the dataset's graph, generating it on first use and caching
+// it for the process lifetime.
+func (d Dataset) Graph() (*graph.Graph, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := cache[d.Name]; ok {
+		return g, nil
+	}
+	g, err := d.Gen()
+	if err != nil {
+		return nil, fmt.Errorf("harness: generating %s: %w", d.Name, err)
+	}
+	cache[d.Name] = g
+	return g, nil
+}
+
+// Datasets returns the five scaled analogues of Table IV, in the paper's
+// order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			// Twitter: 41.6M vertices, 1.46B edges, heavy skew (celebrity
+			// hubs). Scaled: avg degree ~35 kept, strong R-MAT skew.
+			Name: "TT-S", Mirrors: "Twitter", IDBytes: 4,
+			SubgraphBytes: 4 << 10, DefaultWalks: 100_000,
+			Gen: func() (*graph.Graph, error) {
+				cfg := graph.RMATConfig{
+					NumVertices: 10_156, NumEdges: 356_000,
+					A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+					Noise: 0.05, RemoveDuplicates: true, Seed: 41,
+				}
+				return graph.RMAT(cfg)
+			},
+		},
+		{
+			// Friendster: 65.6M vertices, 3.61B edges, avg degree ~55,
+			// milder skew than Twitter.
+			Name: "FS-S", Mirrors: "Friendster", IDBytes: 4,
+			SubgraphBytes: 4 << 10, DefaultWalks: 100_000,
+			Gen: func() (*graph.Graph, error) {
+				cfg := graph.RMATConfig{
+					NumVertices: 16_016, NumEdges: 881_000,
+					A: 0.48, B: 0.22, C: 0.22, D: 0.08,
+					Noise: 0.05, RemoveDuplicates: true, Seed: 42,
+				}
+				return graph.RMAT(cfg)
+			},
+		},
+		{
+			// ClueWeb: 4.78B vertices, 7.94B edges — avg out-degree only
+			// 1.66, so walks dead-end quickly and stragglers dominate
+			// (Figure 8d). 8-byte IDs (vertex count exceeds 4 bytes in the
+			// original).
+			Name: "CW-S", Mirrors: "ClueWeb", IDBytes: 8,
+			SubgraphBytes: 8 << 10, DefaultWalks: 250_000,
+			Gen: func() (*graph.Graph, error) {
+				cfg := graph.RMATConfig{
+					NumVertices: 1_166_848, NumEdges: 1_940_000,
+					A: 0.50, B: 0.21, C: 0.21, D: 0.08,
+					Noise: 0.05, RemoveDuplicates: true, Seed: 43,
+				}
+				return graph.RMAT(cfg)
+			},
+		},
+		{
+			// RMAT2B: PaRMAT defaults, 62.5M vertices, 2B edges.
+			Name: "R2B-S", Mirrors: "RMAT2B", IDBytes: 4,
+			SubgraphBytes: 4 << 10, DefaultWalks: 100_000,
+			Gen: func() (*graph.Graph, error) {
+				return graph.RMAT(graph.DefaultRMAT(15_258, 488_000, 44))
+			},
+		},
+		{
+			// RMAT8B: PaRMAT defaults, 250M vertices, 8B edges.
+			Name: "R8B-S", Mirrors: "RMAT8B", IDBytes: 4,
+			SubgraphBytes: 4 << 10, DefaultWalks: 100_000,
+			Gen: func() (*graph.Graph, error) {
+				return graph.RMAT(graph.DefaultRMAT(61_035, 1_950_000, 45))
+			},
+		},
+	}
+}
+
+// CustomDataset wraps a user-provided graph file as a Dataset so the
+// experiment machinery (configs, figures, energy) runs on it. idBytes is
+// 4 or 8; subgraphBytes is FlashWalker's block size for this graph;
+// defaultWalks anchors the walk-count sweeps.
+func CustomDataset(name, path string, idBytes int, subgraphBytes int64, defaultWalks int) Dataset {
+	return Dataset{
+		Name:          name,
+		Mirrors:       path,
+		IDBytes:       idBytes,
+		SubgraphBytes: subgraphBytes,
+		DefaultWalks:  defaultWalks,
+		Gen: func() (*graph.Graph, error) {
+			return graph.Load(path)
+		},
+	}
+}
+
+// DatasetByName finds a dataset by its short code.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("harness: unknown dataset %q", name)
+}
+
+// Scaled memory capacities for GraphWalker (paper: 4/8/16 GB at full
+// scale; divided by 4096).
+const (
+	GWMem4GB  = 1 << 20 // analogue of 4 GB
+	GWMem8GB  = 2 << 20 // analogue of 8 GB (the default)
+	GWMem16GB = 4 << 20 // analogue of 16 GB
+)

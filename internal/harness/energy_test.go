@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := ExtEnergy(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FWJ <= 0 || r.GWJ <= 0 {
+			t.Fatalf("%s: non-positive energy", r.Dataset)
+		}
+		if r.Ratio <= 1 {
+			t.Errorf("%s: in-storage not more energy-efficient (ratio %.2f)", r.Dataset, r.Ratio)
+		}
+		// The components must account for the totals.
+		if r.FWBreak.Total() != r.FWJ || r.GWBreak.Total() != r.GWJ {
+			t.Fatalf("%s: breakdown does not sum", r.Dataset)
+		}
+	}
+	out := FormatExtEnergy(rows)
+	if !strings.Contains(out, "GW/FW") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestExtAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := ExtAlgorithms(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]AlgorithmRow{}
+	for _, r := range rows {
+		if r.Time <= 0 || r.Hops == 0 {
+			t.Fatalf("%s: empty run", r.Name)
+		}
+		byName[r.Name] = r
+	}
+	// Only the second-order family probes the edge filter.
+	for name, r := range byName {
+		probed := r.Probes > 0
+		wantProbes := strings.HasPrefix(name, "second-order")
+		if probed != wantProbes {
+			t.Errorf("%s: probes=%d", name, r.Probes)
+		}
+	}
+	if !strings.Contains(FormatExtAlgorithms(rows), "Mhops/s") {
+		t.Fatal("format broken")
+	}
+}

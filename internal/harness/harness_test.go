@@ -1,0 +1,409 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"flashwalker/internal/core"
+	"flashwalker/internal/graph"
+)
+
+// tiny scale keeps harness tests fast; each run still exercises the full
+// engine pipeline.
+const testScale = 0.01
+
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 5 {
+		t.Fatalf("%d datasets, want 5", len(ds))
+	}
+	wantNames := []string{"TT-S", "FS-S", "CW-S", "R2B-S", "R8B-S"}
+	for i, d := range ds {
+		if d.Name != wantNames[i] {
+			t.Fatalf("dataset %d = %s, want %s", i, d.Name, wantNames[i])
+		}
+		if d.DefaultWalks <= 0 || d.SubgraphBytes <= 0 {
+			t.Fatalf("dataset %s has invalid defaults", d.Name)
+		}
+	}
+	// CW uses 8-byte IDs; the rest use 4 (Table IV).
+	for _, d := range ds {
+		want := 4
+		if d.Name == "CW-S" {
+			want = 8
+		}
+		if d.IDBytes != want {
+			t.Fatalf("%s IDBytes = %d, want %d", d.Name, d.IDBytes, want)
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	d, err := DatasetByName("TT-S")
+	if err != nil || d.Name != "TT-S" {
+		t.Fatalf("DatasetByName: %v %v", d, err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGraphCaching(t *testing.T) {
+	d, _ := DatasetByName("TT-S")
+	a, err := d.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("graph not cached (different pointers)")
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	// The scaled analogues must roughly match DESIGN.md §5: edge counts
+	// within 10% of the targets and CW's average degree near 1.66.
+	targets := map[string]struct {
+		v, e float64
+	}{
+		"TT-S":  {10156, 356000},
+		"FS-S":  {16016, 881000},
+		"CW-S":  {1166848, 1940000},
+		"R2B-S": {15258, 488000},
+		"R8B-S": {61035, 1950000},
+	}
+	for _, d := range Datasets() {
+		g, err := d.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := targets[d.Name]
+		if v := float64(g.NumVertices()); v != want.v {
+			t.Errorf("%s |V| = %v, want %v", d.Name, v, want.v)
+		}
+		if e := float64(g.NumEdges()); e < want.e*0.9 || e > want.e*1.1 {
+			t.Errorf("%s |E| = %v, want ~%v", d.Name, e, want.e)
+		}
+	}
+	cw, _ := DatasetByName("CW-S")
+	g, _ := cw.Graph()
+	avg := float64(g.NumEdges()) / float64(g.NumVertices())
+	if avg < 1.3 || avg > 2.1 {
+		t.Errorf("CW-S average degree %v, want ~1.66", avg)
+	}
+}
+
+func TestCustomDataset(t *testing.T) {
+	g := graph.Ring(64)
+	path := t.TempDir() + "/ring.bin"
+	if err := graph.Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	d := CustomDataset("ring", path, 4, 1<<10, 1000)
+	loaded, err := d.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumEdges() != 64 {
+		t.Fatalf("loaded %d edges", loaded.NumEdges())
+	}
+	// The experiment machinery must run on it.
+	res, err := RunFlashWalker(d, core.AllOptions(), 200, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WalksFinished() != 200 {
+		t.Fatalf("finished %d", res.WalksFinished())
+	}
+	bad := CustomDataset("missing", t.TempDir()+"/no.bin", 4, 1<<10, 10)
+	if _, err := bad.Graph(); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestScaleWalksFloor(t *testing.T) {
+	if scaleWalks(100000, 0.0001) != 100 {
+		t.Fatal("floor not applied")
+	}
+	if scaleWalks(100000, 0) != 100000 {
+		t.Fatal("zero scale should mean full scale")
+	}
+	if scaleWalks(100000, 0.5) != 50000 {
+		t.Fatal("scaling wrong")
+	}
+}
+
+func TestWalkSweepMonotone(t *testing.T) {
+	d, _ := DatasetByName("TT-S")
+	sweep := walkSweep(d, 1)
+	if len(sweep) != 4 {
+		t.Fatalf("sweep len %d", len(sweep))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] < sweep[i-1] {
+			t.Fatalf("sweep not monotone: %v", sweep)
+		}
+	}
+	if sweep[len(sweep)-1] != d.DefaultWalks {
+		t.Fatal("sweep does not end at DefaultWalks")
+	}
+}
+
+func TestRunBothEnginesTiny(t *testing.T) {
+	d, _ := DatasetByName("TT-S")
+	fw, err := RunFlashWalker(d, core.AllOptions(), 500, 1, 0)
+	if err != nil {
+		t.Fatalf("FlashWalker: %v", err)
+	}
+	gw, err := RunGraphWalker(d, GWMem8GB, 500, 1)
+	if err != nil {
+		t.Fatalf("GraphWalker: %v", err)
+	}
+	if fw.WalksFinished() != 500 || gw.WalksFinished() != 500 {
+		t.Fatalf("finished fw=%d gw=%d", fw.WalksFinished(), gw.WalksFinished())
+	}
+	if fw.Time >= gw.Time {
+		t.Errorf("FlashWalker (%v) not faster than GraphWalker (%v)", fw.Time, gw.Time)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rows, err := Fig1(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		sum := r.LoadGraph + r.Update + r.WalkIO
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("fractions sum to %v", sum)
+		}
+		// Figure 1's claim: loading dominates on ClueWeb.
+		if r.LoadGraph < r.Update {
+			t.Errorf("walks=%d: load fraction %.2f below update %.2f", r.Walks, r.LoadGraph, r.Update)
+		}
+	}
+	out := FormatFig1(rows)
+	if !strings.Contains(out, "Fig 1") || !strings.Contains(out, "%") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFig5TinyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig5(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("%d rows, want 20", len(rows))
+	}
+	min, avg, _ := Fig5Summary(rows)
+	if avg <= 1 {
+		t.Errorf("average speedup %.2f <= 1", avg)
+	}
+	_ = min
+	out := FormatFig5(rows)
+	if !strings.Contains(out, "speedup min") {
+		t.Fatal("summary missing")
+	}
+}
+
+func TestFig6Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig6(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FWReadBytes <= 0 || r.GWReadBytes <= 0 {
+			t.Fatal("zero traffic")
+		}
+		if r.BandwidthGain <= 1 {
+			t.Errorf("%s: FlashWalker bandwidth gain %.2f <= 1", r.Dataset, r.BandwidthGain)
+		}
+	}
+	if !strings.Contains(FormatFig6(rows), "Fig 6") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFig7Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig7(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Per dataset: smaller GraphWalker memory must not shrink the speedup.
+	byDataset := map[string][]Fig7Row{}
+	for _, r := range rows {
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	for name, rs := range byDataset {
+		if len(rs) != 3 {
+			t.Fatalf("%s has %d memory points", name, len(rs))
+		}
+		if rs[0].Speedup < rs[2].Speedup*0.8 {
+			t.Errorf("%s: 4GB speedup %.2f far below 16GB %.2f", name, rs[0].Speedup, rs[2].Speedup)
+		}
+	}
+	if !strings.Contains(FormatFig7(rows), "Fig 7") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFig8Tiny(t *testing.T) {
+	s, err := Fig8("TT-S", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ReadBW) == 0 || len(s.Progress) != len(s.ReadBW) {
+		t.Fatal("series malformed")
+	}
+	last := s.Progress[len(s.Progress)-1]
+	if last < 0.999 {
+		t.Fatalf("progress ends at %v", last)
+	}
+	for i := 1; i < len(s.Progress); i++ {
+		if s.Progress[i] < s.Progress[i-1] {
+			t.Fatal("progress not monotone")
+		}
+	}
+	if s.StragglerTail(0.9) < 0 || s.StragglerTail(0.9) > 1 {
+		t.Fatal("straggler tail out of range")
+	}
+	if !strings.Contains(FormatFig8(s), "Fig 8") {
+		t.Fatal("format broken")
+	}
+	if len(s.Sparklines()) == 0 {
+		t.Fatal("sparklines empty")
+	}
+}
+
+func TestFig9Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig9(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseTime <= 0 {
+			t.Fatal("zero base time")
+		}
+		// Full optimizations should not be dramatically slower than the
+		// baseline on any dataset.
+		if r.WQHSSS < 0.7 {
+			t.Errorf("%s: all-opts slowdown %.2fx", r.Dataset, r.WQHSSS)
+		}
+	}
+	if !strings.Contains(FormatFig9(rows), "Fig 9") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestConfigTables(t *testing.T) {
+	for name, s := range map[string]string{
+		"Table1": Table1(), "Table2": Table2(), "Table3": Table3(),
+	} {
+		if len(s) < 100 {
+			t.Errorf("%s too short: %q", name, s)
+		}
+	}
+	if !strings.Contains(Table1(), "32 channels") {
+		t.Error("Table1 missing geometry")
+	}
+	if !strings.Contains(Table2(), "1000MHz") && !strings.Contains(Table2(), "250MHz") {
+		// chip-level 16ns -> 62MHz? frequency formatting sanity only.
+		t.Log(Table2())
+	}
+	if !strings.Contains(Table3(), "DDR4") {
+		t.Error("Table3 missing DRAM")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.V == 0 || r.E == 0 || r.CSRBytes == 0 {
+			t.Fatalf("empty stats for %s", r.Name)
+		}
+	}
+	out := FormatTable4(rows)
+	if !strings.Contains(out, "Twitter") || !strings.Contains(out, "ClueWeb") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if sparkline(nil) != "" {
+		t.Fatal("empty input")
+	}
+	s := sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("len %d", len(s))
+	}
+	if sparkline([]float64{0, 0}) != "  " {
+		t.Fatal("all-zero")
+	}
+}
+
+func TestFlashWalkerConfigScaling(t *testing.T) {
+	d, _ := DatasetByName("CW-S")
+	rc := FlashWalkerConfig(d, core.AllOptions(), 1000, 1)
+	if rc.Cfg.ChipSubgraphBufBytes != 4*d.SubgraphBytes {
+		t.Fatal("chip buffer not 4 slots")
+	}
+	if rc.PartCfg.BlockBytes != d.SubgraphBytes || rc.PartCfg.IDBytes != 8 {
+		t.Fatal("partition config not derived from dataset")
+	}
+	if err := rc.Cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// SS on -> α = 0.4 (Fig 9 note).
+	if rc.Cfg.Alpha != 0.4 {
+		t.Fatalf("alpha = %v", rc.Cfg.Alpha)
+	}
+	rc2 := FlashWalkerConfig(d, core.Options{}, 1000, 1)
+	if rc2.Cfg.Alpha != core.Default().Alpha {
+		t.Fatal("alpha overridden without SS")
+	}
+}
+
+func TestGraphWalkerConfigScaling(t *testing.T) {
+	d, _ := DatasetByName("CW-S")
+	cfg := GraphWalkerConfig(d, GWMem8GB, 1)
+	if cfg.MemoryBytes != GWMem8GB || cfg.IDBytes != 8 {
+		t.Fatal("config not derived")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+
+	"flashwalker/internal/core"
+	"flashwalker/internal/dram"
+	"flashwalker/internal/flash"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/metrics"
+	"flashwalker/internal/sim"
+)
+
+// Table1 renders Table I: SSD architectural characteristics.
+func Table1() string {
+	c := flash.Default()
+	t := &metrics.Table{
+		Title:   "Table I: SSD architectural characteristics",
+		Headers: []string{"parameter", "value"},
+	}
+	t.AddRow("SSD organization", fmt.Sprintf("%d channels, %d chips per channel", c.Channels, c.ChipsPerChannel))
+	t.AddRow("Flash channel", fmt.Sprintf("ONFI 3.1 (NV-DDR2), width 8 bit, rate %d MB/s", c.ChannelBytesPerSec/1_000_000))
+	t.AddRow("Flash microarchitecture", fmt.Sprintf("%dKB page, %d planes per die, %d dies per chip",
+		c.PageBytes/1024, c.PlanesPerDie, c.DiesPerChip))
+	t.AddRow("Read latency", c.ReadLatency.String())
+	t.AddRow("Program latency", c.ProgramLatency.String())
+	return t.Render()
+}
+
+// Table2 renders Table II: FlashWalker accelerator configurations.
+func Table2() string {
+	c := core.Default()
+	t := &metrics.Table{
+		Title:   "Table II: FlashWalker accelerators configurations",
+		Headers: []string{"module", "chip-level", "channel-level", "board-level"},
+	}
+	freq := func(cycle sim.Time) string { return fmt.Sprintf("%dMHz", 1_000/int64(cycle)) }
+	t.AddRow("frequency", freq(c.ChipUpdaterCycle), freq(c.ChannelUpdaterCycle), freq(c.BoardUpdaterCycle))
+	t.AddRow("# updaters", fmt.Sprint(c.ChipUpdaters), fmt.Sprint(c.ChannelUpdaters), fmt.Sprint(c.BoardUpdaters))
+	t.AddRow("updater cycle", c.ChipUpdaterCycle.String(), c.ChannelUpdaterCycle.String(), c.BoardUpdaterCycle.String())
+	t.AddRow("# guiders", fmt.Sprint(c.ChipGuiders), fmt.Sprint(c.ChannelGuiders), fmt.Sprint(c.BoardGuiders))
+	t.AddRow("guider cycle", c.ChipGuiderCycle.String(), c.ChannelGuiderCycle.String(), c.BoardGuiderCycle.String())
+	t.AddRow("subgraph buffer", metrics.FormatBytes(c.ChipSubgraphBufBytes),
+		metrics.FormatBytes(c.ChannelSubgraphBufBytes), metrics.FormatBytes(c.BoardSubgraphBufBytes))
+	t.AddRow("walk queues", metrics.FormatBytes(c.ChipWalkQueueBytes),
+		metrics.FormatBytes(c.ChannelWalkQueueBytes), metrics.FormatBytes(c.BoardWalkQueueBytes))
+	t.AddRow("roving walk buffer", metrics.FormatBytes(c.ChipRovingBufBytes), "-", "-")
+	t.AddRow("area (mm^2, paper RTL)", "1.30", "1.84", "14.31")
+	return t.Render()
+}
+
+// Table3 renders Table III: SSD & DRAM configurations.
+func Table3() string {
+	f := flash.Default()
+	d := dram.Default()
+	t := &metrics.Table{
+		Title:   "Table III: FlashWalker SSD & DRAM configurations",
+		Headers: []string{"parameter", "value"},
+	}
+	t.AddRow("PCIe bandwidth", fmt.Sprintf("%s (1GB/s x 4)", metrics.FormatRate(float64(f.PCIeBytesPerSec))))
+	t.AddRow("host interface", "NVMe")
+	t.AddRow("# chans, chips, dies, planes",
+		fmt.Sprintf("%d, %d, %d, %d", f.Channels, f.ChipsPerChannel, f.DiesPerChip, f.PlanesPerDie))
+	t.AddRow("# blocks, pages", fmt.Sprintf("%d, %d", f.BlocksPerPlane, f.PagesPerBlock))
+	t.AddRow("page capacity", metrics.FormatBytes(f.PageBytes))
+	t.AddRow("flash comm protocol", "NV-DDR2")
+	t.AddRow("channel transfer rate", metrics.FormatRate(float64(f.ChannelBytesPerSec)))
+	t.AddRow("flash read latency", f.ReadLatency.String())
+	t.AddRow("flash program latency", f.ProgramLatency.String())
+	t.AddRow("flash erase latency", f.EraseLatency.String())
+	t.AddRow("DRAM protocol", "DDR4")
+	t.AddRow("DRAM capacity", metrics.FormatBytes(d.CapacityBytes))
+	t.AddRow("DRAM bandwidth", metrics.FormatRate(float64(d.BytesPerSec)))
+	t.AddRow("DRAM access latency", d.AccessLatency.String())
+	return t.Render()
+}
+
+// Table4Row is one dataset row of Table IV.
+type Table4Row struct {
+	Name     string
+	Mirrors  string
+	V, E     uint64
+	CSRBytes int64
+	TextEst  int64
+	MaxDeg   uint64
+	Gini     float64
+}
+
+// Table4 computes the scaled dataset statistics.
+func Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, d := range Datasets() {
+		g, err := d.Graph()
+		if err != nil {
+			return nil, err
+		}
+		s := graph.ComputeStats(g)
+		rows = append(rows, Table4Row{
+			Name: d.Name, Mirrors: d.Mirrors,
+			V: s.NumVertices, E: s.NumEdges,
+			CSRBytes: g.CSRBytes(d.IDBytes),
+			TextEst:  graph.TextSizeEstimate(g),
+			MaxDeg:   s.MaxOutDeg,
+			Gini:     s.GiniOut,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders Table IV rows.
+func FormatTable4(rows []Table4Row) string {
+	t := &metrics.Table{
+		Title:   "Table IV: statistics of datasets (scaled analogues, 1/4096 of the originals)",
+		Headers: []string{"dataset", "mirrors", "|V|", "|E|", "CSR size", "text size (est)", "max deg", "gini"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Mirrors, fmt.Sprint(r.V), fmt.Sprint(r.E),
+			metrics.FormatBytes(r.CSRBytes), metrics.FormatBytes(r.TextEst),
+			fmt.Sprint(r.MaxDeg), fmt.Sprintf("%.3f", r.Gini))
+	}
+	return t.Render()
+}

@@ -1,0 +1,212 @@
+// Package metrics provides the measurement plumbing shared by both engines:
+// binned time series (for the Figure-8 resource-consumption plots), labelled
+// time breakdowns (Figure 1), and plain-text table rendering for the
+// experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flashwalker/internal/sim"
+)
+
+// TimeSeries accumulates a quantity (usually bytes) into fixed-width time
+// bins so per-interval rates can be reported.
+type TimeSeries struct {
+	bin  sim.Time
+	vals []float64
+}
+
+// NewTimeSeries creates a series with the given bin width.
+func NewTimeSeries(bin sim.Time) *TimeSeries {
+	if bin <= 0 {
+		panic("metrics: non-positive bin width")
+	}
+	return &TimeSeries{bin: bin}
+}
+
+// Add accumulates v into the bin containing time at.
+func (ts *TimeSeries) Add(at sim.Time, v float64) {
+	if at < 0 {
+		at = 0
+	}
+	i := int(at / ts.bin)
+	for len(ts.vals) <= i {
+		ts.vals = append(ts.vals, 0)
+	}
+	ts.vals[i] += v
+}
+
+// NumBins reports the number of bins touched so far.
+func (ts *TimeSeries) NumBins() int { return len(ts.vals) }
+
+// BinWidth reports the bin width.
+func (ts *TimeSeries) BinWidth() sim.Time { return ts.bin }
+
+// Value reports the raw accumulated value of bin i (0 beyond the end).
+func (ts *TimeSeries) Value(i int) float64 {
+	if i < 0 || i >= len(ts.vals) {
+		return 0
+	}
+	return ts.vals[i]
+}
+
+// Rate reports bin i's value converted to a per-second rate.
+func (ts *TimeSeries) Rate(i int) float64 {
+	return ts.Value(i) / ts.bin.Seconds()
+}
+
+// Total reports the sum over all bins.
+func (ts *TimeSeries) Total() float64 {
+	var s float64
+	for _, v := range ts.vals {
+		s += v
+	}
+	return s
+}
+
+// Peak reports the maximum per-second rate across bins.
+func (ts *TimeSeries) Peak() float64 {
+	var m float64
+	for i := range ts.vals {
+		if r := ts.Rate(i); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Breakdown is an ordered label -> duration map (Figure 1's stacked bars).
+type Breakdown struct {
+	labels []string
+	vals   map[string]sim.Time
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{vals: map[string]sim.Time{}}
+}
+
+// Add accumulates d under label, creating the label on first use.
+func (b *Breakdown) Add(label string, d sim.Time) {
+	if _, ok := b.vals[label]; !ok {
+		b.labels = append(b.labels, label)
+	}
+	b.vals[label] += d
+}
+
+// Get returns the accumulated duration for label.
+func (b *Breakdown) Get(label string) sim.Time { return b.vals[label] }
+
+// Labels returns labels in first-use order.
+func (b *Breakdown) Labels() []string { return append([]string(nil), b.labels...) }
+
+// Total sums all components.
+func (b *Breakdown) Total() sim.Time {
+	var t sim.Time
+	for _, v := range b.vals {
+		t += v
+	}
+	return t
+}
+
+// Fraction reports label's share of the total (0 when empty).
+func (b *Breakdown) Fraction(label string) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.vals[label]) / float64(t)
+}
+
+// String renders the breakdown sorted by share, largest first.
+func (b *Breakdown) String() string {
+	labels := b.Labels()
+	sort.Slice(labels, func(i, j int) bool { return b.vals[labels[i]] > b.vals[labels[j]] })
+	var sb strings.Builder
+	for _, l := range labels {
+		fmt.Fprintf(&sb, "%-24s %12v %6.1f%%\n", l, b.vals[l], 100*b.Fraction(l))
+	}
+	return sb.String()
+}
+
+// Table is a simple fixed-width text table, enough for the experiment
+// harness to print paper-style rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with padded columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// FormatBytes renders a byte count with binary units.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// FormatRate renders a bytes-per-second rate with decimal units.
+func FormatRate(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2fGB/s", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2fMB/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.2fKB/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0fB/s", bps)
+	}
+}

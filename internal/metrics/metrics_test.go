@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"flashwalker/internal/sim"
+)
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(100 * sim.Millisecond)
+	ts.Add(0, 10)
+	ts.Add(50*sim.Millisecond, 5)
+	ts.Add(150*sim.Millisecond, 7)
+	if ts.NumBins() != 2 {
+		t.Fatalf("NumBins = %d", ts.NumBins())
+	}
+	if ts.Value(0) != 15 || ts.Value(1) != 7 {
+		t.Fatalf("bins = %v %v", ts.Value(0), ts.Value(1))
+	}
+	if ts.Value(99) != 0 || ts.Value(-1) != 0 {
+		t.Fatal("out-of-range bins not zero")
+	}
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	ts := NewTimeSeries(sim.Second / 2)
+	ts.Add(0, 1e6) // 1 MB in half a second -> 2 MB/s
+	if r := ts.Rate(0); r != 2e6 {
+		t.Fatalf("Rate = %v", r)
+	}
+}
+
+func TestTimeSeriesTotalAndPeak(t *testing.T) {
+	ts := NewTimeSeries(sim.Second)
+	ts.Add(0, 3)
+	ts.Add(sim.Second, 10)
+	ts.Add(2*sim.Second, 5)
+	if ts.Total() != 18 {
+		t.Fatalf("Total = %v", ts.Total())
+	}
+	if ts.Peak() != 10 {
+		t.Fatalf("Peak = %v", ts.Peak())
+	}
+}
+
+func TestTimeSeriesNegativeTimeClamped(t *testing.T) {
+	ts := NewTimeSeries(sim.Second)
+	ts.Add(-5, 1)
+	if ts.Value(0) != 1 {
+		t.Fatal("negative time not clamped into bin 0")
+	}
+}
+
+func TestTimeSeriesBadBinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bin width did not panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("io", 75*sim.Millisecond)
+	b.Add("cpu", 25*sim.Millisecond)
+	b.Add("io", 25*sim.Millisecond)
+	if b.Total() != 125*sim.Millisecond {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if b.Get("io") != 100*sim.Millisecond {
+		t.Fatalf("io = %v", b.Get("io"))
+	}
+	if f := b.Fraction("io"); f != 0.8 {
+		t.Fatalf("Fraction(io) = %v", f)
+	}
+	labels := b.Labels()
+	if len(labels) != 2 || labels[0] != "io" || labels[1] != "cpu" {
+		t.Fatalf("Labels = %v", labels)
+	}
+	s := b.String()
+	if !strings.Contains(s, "io") || !strings.Contains(s, "80.0%") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestBreakdownEmptyFraction(t *testing.T) {
+	b := NewBreakdown()
+	if b.Fraction("nothing") != 0 {
+		t.Fatal("empty breakdown fraction not 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tb.AddRow("xxxxx", "y")
+	tb.AddRow("1", "2")
+	out := tb.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "xxxxx") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.00KiB"},
+		{3 << 20, "3.00MiB"},
+		{5 << 30, "5.00GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{500, "500B/s"},
+		{2e3, "2.00KB/s"},
+		{3.5e6, "3.50MB/s"},
+		{10.4e9, "10.40GB/s"},
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.in); got != c.want {
+			t.Errorf("FormatRate(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package partition
+
+import "fmt"
+
+// Placement assigns graph blocks to flash chips. FlashWalker restricts a
+// chip-level accelerator to subgraphs stored in its own chip's planes
+// (paper §III-D, subgraph scheduling), so the assignment determines which
+// chip can process which walks.
+//
+// Blocks are striped round-robin across all chips, which spreads both
+// capacity and load; the chips of one channel therefore hold an
+// interleaved sample of the vertex space.
+type Placement struct {
+	NumChannels     int
+	ChipsPerChannel int
+	chipOf          []int // blockID -> global chip index
+	blocksOf        [][]int
+}
+
+// NewPlacement stripes the blocks of p across channels×chips chips.
+func NewPlacement(p *Partitioned, numChannels, chipsPerChannel int) (*Placement, error) {
+	if numChannels <= 0 || chipsPerChannel <= 0 {
+		return nil, fmt.Errorf("partition: invalid geometry %dx%d", numChannels, chipsPerChannel)
+	}
+	n := numChannels * chipsPerChannel
+	pl := &Placement{
+		NumChannels:     numChannels,
+		ChipsPerChannel: chipsPerChannel,
+		chipOf:          make([]int, len(p.Blocks)),
+		blocksOf:        make([][]int, n),
+	}
+	for id := range p.Blocks {
+		chip := id % n
+		pl.chipOf[id] = chip
+		pl.blocksOf[chip] = append(pl.blocksOf[chip], id)
+	}
+	return pl, nil
+}
+
+// NumChips reports the total chip count.
+func (pl *Placement) NumChips() int { return pl.NumChannels * pl.ChipsPerChannel }
+
+// ChipOf reports the global chip index storing blockID.
+func (pl *Placement) ChipOf(blockID int) int { return pl.chipOf[blockID] }
+
+// ChannelOf reports the channel index storing blockID.
+func (pl *Placement) ChannelOf(blockID int) int {
+	return pl.chipOf[blockID] / pl.ChipsPerChannel
+}
+
+// ChipWithinChannel reports the chip's index within its channel.
+func (pl *Placement) ChipWithinChannel(blockID int) int {
+	return pl.chipOf[blockID] % pl.ChipsPerChannel
+}
+
+// BlocksOnChip returns the block IDs stored on the global chip index.
+func (pl *Placement) BlocksOnChip(chip int) []int { return pl.blocksOf[chip] }
+
+// BlocksOnChannel returns all block IDs stored on a channel's chips.
+func (pl *Placement) BlocksOnChannel(ch int) []int {
+	var out []int
+	for c := ch * pl.ChipsPerChannel; c < (ch+1)*pl.ChipsPerChannel; c++ {
+		out = append(out, pl.blocksOf[c]...)
+	}
+	return out
+}

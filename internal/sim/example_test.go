@@ -1,0 +1,30 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"flashwalker/internal/sim"
+)
+
+// Schedule events and run them in time order.
+func ExampleEngine() {
+	e := sim.New()
+	e.At(20, func() { fmt.Println("second at", e.Now()) })
+	e.At(10, func() { fmt.Println("first at", e.Now()) })
+	e.Run()
+	// Output:
+	// first at 10ns
+	// second at 20ns
+}
+
+// A Queue serializes contended requests like a bus.
+func ExampleQueue() {
+	e := sim.New()
+	bus := sim.NewQueue(e)
+	bus.Acquire(100, func() { fmt.Println("transfer 1 done at", e.Now()) })
+	bus.Acquire(100, func() { fmt.Println("transfer 2 done at", e.Now()) })
+	e.Run()
+	// Output:
+	// transfer 1 done at 100ns
+	// transfer 2 done at 200ns
+}

@@ -1,0 +1,171 @@
+// Package stats provides the statistical comparison functions the test
+// suites and validation harness use to compare simulated engines against
+// reference implementations: total variation distance, chi-square
+// goodness-of-fit, Kolmogorov-Smirnov distance, and summary helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TotalVariation computes the total variation distance between two
+// empirical distributions given as non-negative count/mass vectors of
+// equal length. Each vector is normalized to sum 1 first. Returns a value
+// in [0,1]; 0 means identical.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(p), len(q))
+	}
+	sp, sq := sum(p), sum(q)
+	if sp <= 0 || sq <= 0 {
+		return 0, fmt.Errorf("stats: empty distribution")
+	}
+	var tv float64
+	for i := range p {
+		tv += math.Abs(p[i]/sp - q[i]/sq)
+	}
+	return tv / 2, nil
+}
+
+// ChiSquare computes the chi-square statistic of observed counts against
+// expected counts (same length; expected entries must be positive).
+func ChiSquare(observed, expected []float64) (float64, error) {
+	if len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: length mismatch")
+	}
+	var chi2 float64
+	for i := range observed {
+		if expected[i] <= 0 {
+			return 0, fmt.Errorf("stats: non-positive expected count at %d", i)
+		}
+		d := observed[i] - expected[i]
+		chi2 += d * d / expected[i]
+	}
+	return chi2, nil
+}
+
+// ChiSquareUniform tests observed counts against a uniform expectation.
+func ChiSquareUniform(observed []float64) (float64, error) {
+	if len(observed) == 0 {
+		return 0, fmt.Errorf("stats: empty observation")
+	}
+	total := sum(observed)
+	if total <= 0 {
+		return 0, fmt.Errorf("stats: zero total")
+	}
+	expected := make([]float64, len(observed))
+	for i := range expected {
+		expected[i] = total / float64(len(observed))
+	}
+	return ChiSquare(observed, expected)
+}
+
+// KolmogorovSmirnov computes the two-sample KS statistic (max CDF gap)
+// between two samples.
+func KolmogorovSmirnov(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("stats: empty sample")
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		// Advance through the smaller value on both sides together so
+		// tied observations never create a spurious CDF gap.
+		v := sa[i]
+		if sb[j] < v {
+			v = sb[j]
+		}
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if gap > d {
+			d = gap
+		}
+	}
+	return d, nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return sum(xs) / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank on a
+// copy of xs.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: empty sample")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v outside [0,100]", p)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank], nil
+}
+
+// Gini computes the Gini coefficient of non-negative values (0 = uniform,
+// →1 = concentrated).
+func Gini(vals []float64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	total := sum(s)
+	if total == 0 {
+		return 0
+	}
+	var weighted float64
+	for i, v := range s {
+		weighted += float64(i+1) * v
+	}
+	g := (2*weighted)/(float64(n)*total) - float64(n+1)/float64(n)
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"flashwalker/internal/rng"
+)
+
+func TestTotalVariationIdentical(t *testing.T) {
+	p := []float64{1, 2, 3}
+	tv, err := TotalVariation(p, p)
+	if err != nil || tv != 0 {
+		t.Fatalf("tv=%v err=%v", tv, err)
+	}
+}
+
+func TestTotalVariationDisjoint(t *testing.T) {
+	tv, err := TotalVariation([]float64{1, 0}, []float64{0, 1})
+	if err != nil || tv != 1 {
+		t.Fatalf("tv=%v err=%v", tv, err)
+	}
+}
+
+func TestTotalVariationNormalizes(t *testing.T) {
+	// Scaling one side must not matter.
+	a := []float64{1, 1, 2}
+	b := []float64{10, 10, 20}
+	tv, err := TotalVariation(a, b)
+	if err != nil || tv > 1e-12 {
+		t.Fatalf("tv=%v err=%v", tv, err)
+	}
+}
+
+func TestTotalVariationErrors(t *testing.T) {
+	if _, err := TotalVariation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := TotalVariation([]float64{0}, []float64{0}); err == nil {
+		t.Fatal("empty distributions accepted")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	chi2, err := ChiSquare([]float64{12, 8}, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chi2-0.8) > 1e-12 {
+		t.Fatalf("chi2 = %v, want 0.8", chi2)
+	}
+	if _, err := ChiSquare([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := ChiSquare([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero expected accepted")
+	}
+}
+
+func TestChiSquareUniformDetectsSkew(t *testing.T) {
+	r := rng.New(1)
+	uniform := make([]float64, 10)
+	for i := 0; i < 10000; i++ {
+		uniform[r.Intn(10)]++
+	}
+	chiU, err := ChiSquareUniform(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chiU > 30 {
+		t.Fatalf("uniform sample chi2 = %v", chiU)
+	}
+	skewed := []float64{1000, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	chiS, _ := ChiSquareUniform(skewed)
+	if chiS < 100 {
+		t.Fatalf("skewed sample chi2 = %v", chiS)
+	}
+	if _, err := ChiSquareUniform(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ChiSquareUniform([]float64{0, 0}); err == nil {
+		t.Fatal("zero total accepted")
+	}
+}
+
+func TestKolmogorovSmirnovSameSample(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	d, err := KolmogorovSmirnov(a, a)
+	if err != nil || d > 1e-12 {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+}
+
+func TestKolmogorovSmirnovShifted(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{101, 102, 103}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil || d != 1 {
+		t.Fatalf("disjoint samples d=%v", d)
+	}
+	if _, err := KolmogorovSmirnov(nil, a); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestKolmogorovSmirnovSensitivity(t *testing.T) {
+	r := rng.New(3)
+	var a, b []float64
+	for i := 0; i < 2000; i++ {
+		a = append(a, r.Float64())
+		b = append(b, r.Float64()*0.5) // compressed distribution
+	}
+	d, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.3 {
+		t.Fatalf("KS failed to separate distributions: %v", d)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Stddev(xs) != 2 {
+		t.Fatalf("stddev %v", Stddev(xs))
+	}
+	if Mean(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	for _, c := range []struct {
+		p, want float64
+	}{{0, 1}, {20, 1}, {50, 3}, {100, 5}} {
+		got, err := Percentile(xs, c.p)
+		if err != nil || got != c.want {
+			t.Fatalf("p%v = %v (err %v), want %v", c.p, got, err, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Percentile(xs, 200); err == nil {
+		t.Fatal("bad percentile accepted")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5}); g > 1e-12 {
+		t.Fatalf("uniform gini %v", g)
+	}
+	if g := Gini([]float64{0, 0, 0, 90}); g < 0.7 {
+		t.Fatalf("skewed gini %v", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate gini")
+	}
+}

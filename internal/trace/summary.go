@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flashwalker/internal/sim"
+)
+
+// Summary aggregates a recorded event stream into per-kind statistics and
+// hot-spot lists for post-mortem analysis of a run.
+type Summary struct {
+	Span   sim.Time
+	Events int
+
+	Counts map[Kind]uint64
+	// LoadsPerBlock counts subgraph loads keyed by block ID.
+	LoadsPerBlock map[int64]uint64
+	// WalksPerLoad is the mean walks delivered per subgraph load (the
+	// batching quality metric behind the Figure-6 traffic analysis).
+	WalksPerLoad float64
+	// RovingBatchMean is the mean walks per roving fetch.
+	RovingBatchMean float64
+	// Completed / DeadEnded split the WalkDone events.
+	Completed, DeadEnded uint64
+}
+
+// Summarize computes a Summary from events (any order; they are scanned
+// once).
+func Summarize(events []Event) *Summary {
+	s := &Summary{
+		Counts:        map[Kind]uint64{},
+		LoadsPerBlock: map[int64]uint64{},
+	}
+	var loadWalks, rovingWalks, rovingBatches uint64
+	for _, e := range events {
+		s.Events++
+		s.Counts[e.Kind]++
+		if e.At > s.Span {
+			s.Span = e.At
+		}
+		switch e.Kind {
+		case SubgraphLoad:
+			s.LoadsPerBlock[e.A]++
+			loadWalks += uint64(e.B)
+		case RovingBatch:
+			rovingBatches++
+			rovingWalks += uint64(e.B)
+		case WalkDone:
+			if e.A == 1 {
+				s.Completed++
+			} else {
+				s.DeadEnded++
+			}
+		}
+	}
+	if n := s.Counts[SubgraphLoad]; n > 0 {
+		s.WalksPerLoad = float64(loadWalks) / float64(n)
+	}
+	if rovingBatches > 0 {
+		s.RovingBatchMean = float64(rovingWalks) / float64(rovingBatches)
+	}
+	return s
+}
+
+// HottestBlocks returns the top-k most-loaded block IDs, descending.
+func (s *Summary) HottestBlocks(k int) []int64 {
+	type bc struct {
+		b int64
+		n uint64
+	}
+	all := make([]bc, 0, len(s.LoadsPerBlock))
+	for b, n := range s.LoadsPerBlock {
+		all = append(all, bc{b, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].b < all[j].b
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].b
+	}
+	return out
+}
+
+// String renders a human-readable report.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d events over %v\n", s.Events, s.Span)
+	kinds := make([]Kind, 0, len(s.Counts))
+	for k := range s.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "  %-18s %d\n", k.String(), s.Counts[k])
+	}
+	fmt.Fprintf(&sb, "  walks/load        %.2f\n", s.WalksPerLoad)
+	fmt.Fprintf(&sb, "  walks/roving batch %.2f\n", s.RovingBatchMean)
+	fmt.Fprintf(&sb, "  completed/dead    %d/%d\n", s.Completed, s.DeadEnded)
+	if top := s.HottestBlocks(5); len(top) > 0 {
+		fmt.Fprintf(&sb, "  hottest blocks    %v\n", top)
+	}
+	return sb.String()
+}

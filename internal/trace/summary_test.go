@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 10, Kind: PartitionSwitch, A: 0, B: 100},
+		{At: 20, Kind: SubgraphLoad, A: 5, B: 10},
+		{At: 30, Kind: SubgraphLoad, A: 5, B: 20},
+		{At: 40, Kind: SubgraphLoad, A: 7, B: 30},
+		{At: 50, Kind: RovingBatch, A: 1, B: 8},
+		{At: 60, Kind: RovingBatch, A: 2, B: 4},
+		{At: 70, Kind: WalkDone, A: 1},
+		{At: 80, Kind: WalkDone, A: 0},
+		{At: 90, Kind: WalkDone, A: 1},
+	}
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	s := Summarize(sampleEvents())
+	if s.Events != 9 || s.Span != 90 {
+		t.Fatalf("events=%d span=%v", s.Events, s.Span)
+	}
+	if s.Counts[SubgraphLoad] != 3 || s.Counts[RovingBatch] != 2 {
+		t.Fatal("kind counts wrong")
+	}
+	if s.Completed != 2 || s.DeadEnded != 1 {
+		t.Fatalf("done split %d/%d", s.Completed, s.DeadEnded)
+	}
+}
+
+func TestSummarizeMeans(t *testing.T) {
+	s := Summarize(sampleEvents())
+	if s.WalksPerLoad != 20 {
+		t.Fatalf("walks/load = %v", s.WalksPerLoad)
+	}
+	if s.RovingBatchMean != 6 {
+		t.Fatalf("roving mean = %v", s.RovingBatchMean)
+	}
+}
+
+func TestHottestBlocks(t *testing.T) {
+	s := Summarize(sampleEvents())
+	top := s.HottestBlocks(2)
+	if len(top) != 2 || top[0] != 5 || top[1] != 7 {
+		t.Fatalf("top = %v", top)
+	}
+	if got := s.HottestBlocks(100); len(got) != 2 {
+		t.Fatalf("over-ask = %v", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Events != 0 || s.WalksPerLoad != 0 || s.RovingBatchMean != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	if len(s.HottestBlocks(3)) != 0 {
+		t.Fatal("hot blocks from nothing")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	out := Summarize(sampleEvents()).String()
+	for _, want := range []string{"subgraph-load", "walks/load", "hottest blocks", "completed/dead"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package trace records structured simulation events. A Tracer observes
+// the FlashWalker engine's internals (subgraph loads, roving batches,
+// buffer flushes, partition switches) with timestamps, for debugging,
+// visualization, and tests that assert on event ordering.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"flashwalker/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// SubgraphLoad: a chip-level accelerator loads a subgraph.
+	SubgraphLoad Kind = iota
+	// RovingBatch: a channel-level accelerator fetches roving walks.
+	RovingBatch
+	// PWBOverflow: a partition walk buffer entry flushed to flash.
+	PWBOverflow
+	// ForeignerFlush: the foreigner buffer flushed to flash.
+	ForeignerFlush
+	// PartitionSwitch: the engine advanced to another partition.
+	PartitionSwitch
+	// WalkDone: a walk completed or dead-ended.
+	WalkDone
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SubgraphLoad:
+		return "subgraph-load"
+	case RovingBatch:
+		return "roving-batch"
+	case PWBOverflow:
+		return "pwb-overflow"
+	case ForeignerFlush:
+		return "foreigner-flush"
+	case PartitionSwitch:
+		return "partition-switch"
+	case WalkDone:
+		return "walk-done"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence. A/B are kind-specific:
+//
+//	SubgraphLoad:    A = block ID,  B = walks taken
+//	RovingBatch:     A = chip ID,   B = walks moved
+//	PWBOverflow:     A = block ID,  B = walks flushed
+//	ForeignerFlush:  A = bytes,     B = 0
+//	PartitionSwitch: A = partition, B = pending walks
+//	WalkDone:        A = 1 if completed / 0 if dead-ended, B = 0
+type Event struct {
+	At   sim.Time `json:"at"`
+	Kind Kind     `json:"kind"`
+	A    int64    `json:"a"`
+	B    int64    `json:"b"`
+}
+
+// Tracer receives events. Implementations must be cheap: the engine emits
+// on hot paths.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// Recorder is an in-memory Tracer with per-kind counts. Safe for
+// concurrent use (the DES itself is single-threaded but tests may read
+// while helper goroutines run).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	counts [numKinds]uint64
+	// Cap bounds memory; 0 = unlimited. When full, events drop but counts
+	// continue.
+	Cap int
+}
+
+// NewRecorder returns an unbounded in-memory recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.Kind >= 0 && e.Kind < numKinds {
+		r.counts[e.Kind]++
+	}
+	if r.Cap == 0 || len(r.events) < r.Cap {
+		r.events = append(r.events, e)
+	}
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Count reports occurrences of a kind (including dropped events).
+func (r *Recorder) Count(k Kind) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return r.counts[k]
+}
+
+// Len reports stored events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Writer is a Tracer that streams events as JSON lines.
+type Writer struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewWriter returns a JSONL-emitting tracer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Tracer. The first encoding error sticks; later events
+// are dropped.
+func (w *Writer) Emit(e Event) {
+	if w.err != nil {
+		return
+	}
+	type jsonEvent struct {
+		At   int64  `json:"at_ns"`
+		Kind string `json:"kind"`
+		A    int64  `json:"a"`
+		B    int64  `json:"b"`
+	}
+	w.err = w.enc.Encode(jsonEvent{At: int64(e.At), Kind: e.Kind.String(), A: e.A, B: e.B})
+}
+
+// Err reports the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// kindByName maps the JSONL kind strings back to Kinds.
+var kindByName = func() map[string]Kind {
+	m := map[string]Kind{}
+	for k := Kind(0); k < numKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// ReadJSONL parses a trace written by Writer. Unknown kinds are an error;
+// blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var je struct {
+			At   int64  `json:"at_ns"`
+			Kind string `json:"kind"`
+			A    int64  `json:"a"`
+			B    int64  `json:"b"`
+		}
+		if err := dec.Decode(&je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		k, ok := kindByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", len(out)+1, je.Kind)
+		}
+		out = append(out, Event{At: sim.Time(je.At), Kind: k, A: je.A, B: je.B})
+	}
+	return out, nil
+}
+
+// Multi fans one event out to several tracers.
+func Multi(ts ...Tracer) Tracer { return multi(ts) }
+
+type multi []Tracer
+
+func (m multi) Emit(e Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Emit(e)
+		}
+	}
+}

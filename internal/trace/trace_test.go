@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		SubgraphLoad:    "subgraph-load",
+		RovingBatch:     "roving-batch",
+		PWBOverflow:     "pwb-overflow",
+		ForeignerFlush:  "foreigner-flush",
+		PartitionSwitch: "partition-switch",
+		WalkDone:        "walk-done",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestRecorderCountsAndEvents(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{At: 1, Kind: SubgraphLoad, A: 5, B: 10})
+	r.Emit(Event{At: 2, Kind: SubgraphLoad, A: 6, B: 1})
+	r.Emit(Event{At: 3, Kind: WalkDone, A: 1})
+	if r.Count(SubgraphLoad) != 2 || r.Count(WalkDone) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if r.Count(Kind(99)) != 0 {
+		t.Fatal("invalid kind count")
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].A != 5 || evs[2].Kind != WalkDone {
+		t.Fatalf("events %v", evs)
+	}
+	if r.Len() != 3 {
+		t.Fatal("Len")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := &Recorder{Cap: 2}
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: WalkDone})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("stored %d, want cap 2", r.Len())
+	}
+	if r.Count(WalkDone) != 5 {
+		t.Fatal("count must include dropped events")
+	}
+}
+
+func TestWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{At: 42, Kind: RovingBatch, A: 3, B: 7})
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	var decoded struct {
+		At   int64  `json:"at_ns"`
+		Kind string `json:"kind"`
+		A, B int64
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.At != 42 || decoded.Kind != "roving-batch" || decoded.A != 3 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &failErr{}
+
+type failErr struct{}
+
+func (*failErr) Error() string { return "fail" }
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	w.Emit(Event{})
+	if w.Err() == nil {
+		t.Fatal("error not surfaced")
+	}
+	w.Emit(Event{}) // must not panic
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	m := Multi(a, nil, b)
+	m.Emit(Event{Kind: PWBOverflow})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("fan-out failed")
+	}
+}
+
+func TestReadJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := []Event{
+		{At: 1, Kind: SubgraphLoad, A: 2, B: 3},
+		{At: 4, Kind: WalkDone, A: 1},
+		{At: 9, Kind: PartitionSwitch, A: 0, B: 7},
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("%d events", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsUnknownKind(t *testing.T) {
+	in := `{"at_ns":1,"kind":"mystery","a":0,"b":0}`
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		w.Emit(Event{At: 1, Kind: WalkDone})
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 3 {
+		t.Fatalf("%d lines", lines)
+	}
+}

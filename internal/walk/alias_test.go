@@ -1,0 +1,153 @@
+package walk
+
+import (
+	"testing"
+
+	"flashwalker/internal/graph"
+	"flashwalker/internal/rng"
+	"flashwalker/internal/stats"
+)
+
+func TestAliasTableMatchesWeights(t *testing.T) {
+	weights := []float32{1, 3, 6, 0, 10}
+	tab, err := NewAliasTable(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	const draws = 200000
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[tab.Sample(r)]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += float64(w)
+	}
+	expected := make([]float64, len(weights))
+	for i, w := range weights {
+		expected[i] = float64(w) / sum * draws
+	}
+	if counts[3] != 0 {
+		t.Fatalf("zero-weight outcome drawn %v times", counts[3])
+	}
+	// Chi-square over the non-zero outcomes.
+	obs := []float64{counts[0], counts[1], counts[2], counts[4]}
+	exp := []float64{expected[0], expected[1], expected[2], expected[4]}
+	chi2, err := stats.ChiSquare(obs, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 > 20 {
+		t.Fatalf("alias distribution off: chi2 = %v (counts %v)", chi2, counts)
+	}
+}
+
+func TestAliasTableUniform(t *testing.T) {
+	tab, err := NewAliasTable([]float32{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All cells should be full (prob 1) for uniform weights.
+	r := rng.New(2)
+	counts := make([]float64, 4)
+	for i := 0; i < 40000; i++ {
+		counts[tab.Sample(r)]++
+	}
+	chi2, _ := stats.ChiSquareUniform(counts)
+	if chi2 > 20 {
+		t.Fatalf("uniform alias chi2 = %v", chi2)
+	}
+}
+
+func TestAliasTableSingleOutcome(t *testing.T) {
+	tab, err := NewAliasTable([]float32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		if tab.Sample(r) != 0 {
+			t.Fatal("single-outcome table sampled nonzero")
+		}
+	}
+	if tab.Len() != 1 || tab.SizeBytes() != 12 {
+		t.Fatal("geometry")
+	}
+}
+
+func TestAliasTableRejectsBadInput(t *testing.T) {
+	if _, err := NewAliasTable(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewAliasTable([]float32{0, 0}); err == nil {
+		t.Fatal("zero-sum accepted")
+	}
+	if _, err := NewAliasTable([]float32{1, -1}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestGraphAliasMatchesITS(t *testing.T) {
+	// The alias sampler and the ITS sampler must produce the same
+	// distribution on a weighted vertex.
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(0, 2, 3)
+	b.AddWeightedEdge(0, 3, 6)
+	g, _ := b.Build()
+	ga, err := NewGraphAlias(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: Biased, Length: 1}
+	r1, r2 := rng.New(5), rng.New(6)
+	const draws = 100000
+	aliasCounts := make([]float64, 3)
+	itsCounts := make([]float64, 3)
+	for i := 0; i < draws; i++ {
+		aliasCounts[ga.ChooseEdge(r1, 0)]++
+		idx, _ := spec.ChooseEdge(r2, 3, g.OutCumWeights(0))
+		itsCounts[idx]++
+	}
+	tv, err := stats.TotalVariation(aliasCounts, itsCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 0.01 {
+		t.Fatalf("alias vs ITS distributions diverge: TV %v (alias %v, its %v)",
+			tv, aliasCounts, itsCounts)
+	}
+}
+
+func TestGraphAliasRejectsUnweighted(t *testing.T) {
+	if _, err := NewGraphAlias(graph.Ring(4)); err == nil {
+		t.Fatal("unweighted graph accepted")
+	}
+}
+
+func TestGraphAliasDeadEndPanics(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddWeightedEdge(0, 1, 1)
+	g, _ := b.Build()
+	ga, _ := NewGraphAlias(g)
+	defer func() {
+		if recover() == nil {
+			t.Error("dead-end sample did not panic")
+		}
+	}()
+	ga.ChooseEdge(rng.New(1), 1)
+}
+
+func TestGraphAliasSize(t *testing.T) {
+	cfg := graph.DefaultRMAT(256, 2048, 7)
+	cfg.Weighted = true
+	g, _ := graph.RMAT(cfg)
+	ga, err := NewGraphAlias(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.SizeBytes() != int64(g.NumEdges())*12 {
+		t.Fatalf("size %d, want %d", ga.SizeBytes(), g.NumEdges()*12)
+	}
+}

@@ -1,0 +1,76 @@
+package walk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"flashwalker/internal/graph"
+)
+
+// WriteCorpus writes a walk corpus in the whitespace-separated text format
+// skip-gram trainers (word2vec and friends) consume: one walk per line,
+// vertex IDs as tokens.
+func WriteCorpus(w io.Writer, corpus [][]graph.VertexID) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, path := range corpus {
+		for i, v := range path {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(v, 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus parses the format WriteCorpus emits. Empty lines are skipped.
+func ReadCorpus(r io.Reader) ([][]graph.VertexID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var corpus [][]graph.VertexID
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		path := make([]graph.VertexID, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("walk: corpus line %d token %d: %w", line, i, err)
+			}
+			path[i] = v
+		}
+		corpus = append(corpus, path)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("walk: reading corpus: %w", err)
+	}
+	return corpus, nil
+}
+
+// CorpusStats summarizes a corpus: walk count, token count, and the mean
+// walk length in hops.
+func CorpusStats(corpus [][]graph.VertexID) (walks, tokens int, meanHops float64) {
+	walks = len(corpus)
+	for _, p := range corpus {
+		tokens += len(p)
+	}
+	if walks > 0 {
+		meanHops = float64(tokens-walks) / float64(walks)
+	}
+	return
+}

@@ -1,0 +1,94 @@
+package walk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flashwalker/internal/graph"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	corpus := [][]graph.VertexID{
+		{0, 1, 2},
+		{5},
+		{9, 8, 7, 6},
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, corpus); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(corpus) {
+		t.Fatalf("%d walks", len(got))
+	}
+	for i := range corpus {
+		if len(got[i]) != len(corpus[i]) {
+			t.Fatalf("walk %d length changed", i)
+		}
+		for j := range corpus[i] {
+			if got[i][j] != corpus[i][j] {
+				t.Fatalf("walk %d token %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestCorpusFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, [][]graph.VertexID{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "1 2 3\n" {
+		t.Fatalf("format %q", buf.String())
+	}
+}
+
+func TestReadCorpusSkipsBlankLines(t *testing.T) {
+	got, err := ReadCorpus(strings.NewReader("1 2\n\n3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d walks", len(got))
+	}
+}
+
+func TestReadCorpusRejectsGarbage(t *testing.T) {
+	if _, err := ReadCorpus(strings.NewReader("1 x 3\n")); err == nil {
+		t.Fatal("garbage token accepted")
+	}
+}
+
+func TestCorpusStats(t *testing.T) {
+	walks, tokens, mean := CorpusStats([][]graph.VertexID{{1, 2, 3}, {4, 5}})
+	if walks != 2 || tokens != 5 || mean != 1.5 {
+		t.Fatalf("stats %d %d %v", walks, tokens, mean)
+	}
+	w, tk, m := CorpusStats(nil)
+	if w != 0 || tk != 0 || m != 0 {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestCorpusFromDeepWalk(t *testing.T) {
+	g := graph.Ring(32)
+	corpus, err := DeepWalkCorpus(g, 1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, corpus); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 32 {
+		t.Fatalf("%d walks", len(back))
+	}
+}
