@@ -24,6 +24,10 @@ const benchScale = 0.05
 
 const benchSeed = 1
 
+// benchWorkers runs the figure grids through the harness sweep pool at one
+// worker per CPU; results are identical to serial, only wall-clock drops.
+const benchWorkers = 0
+
 // BenchmarkTable4Datasets regenerates Table IV: dataset statistics of the
 // five scaled graphs (generation cost is what is measured; the registry
 // caches them for the figure benchmarks).
@@ -47,7 +51,7 @@ func BenchmarkTable4Datasets(b *testing.B) {
 // dominates).
 func BenchmarkFig1Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig1(benchScale, benchSeed)
+		rows, err := harness.Fig1(benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +64,7 @@ func BenchmarkFig1Breakdown(b *testing.B) {
 // GraphWalker across all five datasets and a walk-count sweep.
 func BenchmarkFig5Speedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig5(benchScale, benchSeed)
+		rows, err := harness.Fig5(benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +79,7 @@ func BenchmarkFig5Speedup(b *testing.B) {
 // achieved flash bandwidth improvement at the fixed walk counts.
 func BenchmarkFig6Traffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig6(benchScale, benchSeed)
+		rows, err := harness.Fig6(benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +98,7 @@ func BenchmarkFig6Traffic(b *testing.B) {
 // with the scaled 4/8/16 GB memory budgets.
 func BenchmarkFig7Memory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig7(benchScale, benchSeed)
+		rows, err := harness.Fig7(benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +148,7 @@ func BenchmarkFig8Resource(b *testing.B) {
 func BenchmarkFig9Ablation(b *testing.B) {
 	const fig9Scale = 0.4
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig9(fig9Scale, benchSeed)
+		rows, err := harness.Fig9(fig9Scale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +203,7 @@ func BenchmarkGraphWalkerTT(b *testing.B) {
 // experiment (the paper's §I energy motivation quantified).
 func BenchmarkEnergyExtension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.ExtEnergy(benchScale, benchSeed)
+		rows, err := harness.ExtEnergy(benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}

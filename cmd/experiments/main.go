@@ -4,11 +4,14 @@
 // Usage:
 //
 //	experiments -fig 1,5,6,7,8,9 -table 1,2,3,4 [-scale 1.0] [-seed 1]
-//	experiments -all
+//	experiments -all [-parallel N]
 //	experiments -fig 8 -dataset CW-S
 //
 // -scale multiplies every walk count (use 0.1 for a quick pass); the
-// tables are configuration/statistics only and ignore it.
+// tables are configuration/statistics only and ignore it. -parallel sets
+// the sweep worker count (0 = one per CPU); every grid point is an
+// independent seed-deterministic simulation, so the output is identical
+// at any worker count.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "walk-count scale factor")
 	seed := flag.Uint64("seed", 1, "root seed")
 	dataset := flag.String("dataset", "CW-S", "dataset for figure 8")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files to this directory")
 	flag.Parse()
 
@@ -55,12 +59,12 @@ func main() {
 		}
 	}
 	for _, f := range splitList(*figs) {
-		if err := runFig(f, *scale, *seed, *dataset); err != nil {
+		if err := runFig(f, *scale, *seed, *dataset, *parallel); err != nil {
 			fail(err)
 		}
 	}
 	if *energy {
-		rows, err := harness.ExtEnergy(*scale, *seed)
+		rows, err := harness.ExtEnergy(*scale, *seed, *parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -72,7 +76,7 @@ func main() {
 		}
 	}
 	if *algos {
-		rows, err := harness.ExtAlgorithms(*scale, *seed)
+		rows, err := harness.ExtAlgorithms(*scale, *seed, *parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -136,31 +140,31 @@ func runTable(t string) error {
 	return nil
 }
 
-func runFig(f string, scale float64, seed uint64, dataset string) error {
+func runFig(f string, scale float64, seed uint64, dataset string, parallel int) error {
 	switch f {
 	case "1":
-		rows, err := harness.Fig1(scale, seed)
+		rows, err := harness.Fig1(scale, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.FormatFig1(rows))
 		return saveCSV("fig1.csv", func(w *os.File) error { return harness.Fig1CSV(w, rows) })
 	case "5":
-		rows, err := harness.Fig5(scale, seed)
+		rows, err := harness.Fig5(scale, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.FormatFig5(rows))
 		return saveCSV("fig5.csv", func(w *os.File) error { return harness.Fig5CSV(w, rows) })
 	case "6":
-		rows, err := harness.Fig6(scale, seed)
+		rows, err := harness.Fig6(scale, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.FormatFig6(rows))
 		return saveCSV("fig6.csv", func(w *os.File) error { return harness.Fig6CSV(w, rows) })
 	case "7":
-		rows, err := harness.Fig7(scale, seed)
+		rows, err := harness.Fig7(scale, seed, parallel)
 		if err != nil {
 			return err
 		}
@@ -176,7 +180,7 @@ func runFig(f string, scale float64, seed uint64, dataset string) error {
 		fmt.Printf("straggler tail (time after 90%% done): %.1f%% of run\n\n", 100*s.StragglerTail(0.9))
 		return saveCSV("fig8.csv", func(w *os.File) error { return harness.Fig8CSV(w, s) })
 	case "9":
-		rows, err := harness.Fig9(scale, seed)
+		rows, err := harness.Fig9(scale, seed, parallel)
 		if err != nil {
 			return err
 		}

@@ -1,104 +1,19 @@
 package core
 
 import (
-	"sort"
-
 	fl "flashwalker/internal/flash"
-	"flashwalker/internal/graph"
-	"flashwalker/internal/partition"
-	"flashwalker/internal/rng"
-	"flashwalker/internal/sim"
 	"flashwalker/internal/trace"
 )
 
-// simTime converts an int operation count to a sim.Time multiplier.
-func simTime(n int) sim.Time { return sim.Time(n) }
-
-// hotEntry is one resident hot subgraph, kept sorted by LowVertex so the
-// guider's membership test is a binary search.
-type hotEntry struct {
-	low, high graph.VertexID
-	block     int
-}
-
-// hotIndex is a sorted hot-subgraph membership structure shared by the
-// channel- and board-level accelerators.
-type hotIndex struct {
-	entries []hotEntry
-	set     map[int]bool
-}
-
-func newHotIndex(part *partition.Partitioned, ids []int) *hotIndex {
-	h := &hotIndex{set: map[int]bool{}}
-	for _, id := range ids {
-		b := &part.Blocks[id]
-		h.entries = append(h.entries, hotEntry{low: b.LowVertex, high: b.HighVertex, block: id})
-		h.set[id] = true
-	}
-	sort.Slice(h.entries, func(i, j int) bool { return h.entries[i].low < h.entries[j].low })
-	return h
-}
-
-// find binary-searches for the hot block containing v; steps is the number
-// of comparisons (guider operations).
-func (h *hotIndex) find(v graph.VertexID) (block, steps int) {
-	lo, hi := 0, len(h.entries)-1
-	for lo <= hi {
-		steps++
-		mid := (lo + hi) / 2
-		e := h.entries[mid]
-		switch {
-		case v < e.low:
-			hi = mid - 1
-		case v > e.high:
-			lo = mid + 1
-		default:
-			return e.block, steps
-		}
-	}
-	if steps == 0 {
-		steps = 1
-	}
-	return -1, steps
-}
-
-func (h *hotIndex) contains(block int) bool { return h != nil && h.set[block] }
-
-func (h *hotIndex) ids() []int {
-	if h == nil {
-		return nil
-	}
-	out := make([]int, 0, len(h.entries))
-	for _, e := range h.entries {
-		out = append(out, e.block)
-	}
-	return out
-}
-
 // channelAccel is a channel-level accelerator (§III-C): it fetches roving
 // walks from its chips at a fixed interval, updates walks landing in its
-// hot subgraphs, performs the approximate walk search for the rest, and
-// forwards them to the board.
+// hot subgraphs (the shared tierCommon pipeline), performs the approximate
+// walk search for the rest, and forwards them to the board.
 type channelAccel struct {
-	e       *Engine
+	tierCommon
 	id      int
 	channel *fl.Channel
-	updater *unitPool
-	guider  *unitPool
-
-	hot      *hotIndex
-	hotReady bool
-
-	queueBytes int64 // walks buffered for hot-subgraph updating
-
-	rng *rng.RNG
 }
-
-func (ca *channelAccel) setHotBlocks(ids []int) {
-	ca.hot = newHotIndex(ca.e.part, ids)
-}
-
-func (ca *channelAccel) hotList() []int { return ca.hot.ids() }
 
 // scheduleTick arms the periodic roving-walk fetch.
 func (ca *channelAccel) scheduleTick() {
@@ -128,14 +43,16 @@ func (ca *channelAccel) tick() {
 		batch := walks
 		e.ssd.TransferChannel(ca.channel, bytes, func() {
 			for i := range batch {
-				ca.guide(batch[i])
+				ca.Guide(batch[i])
 			}
 		})
 	}
 }
 
-// guide classifies a roving walk at the channel level.
-func (ca *channelAccel) guide(st wstate) {
+// Guide classifies a roving walk at the channel level: hot-subgraph
+// membership first, then the approximate walk search (range query), which
+// can detect foreigners without board involvement.
+func (ca *channelAccel) Guide(st wstate) {
 	e := ca.e
 	ops := 1
 	var hotBlock = -1
@@ -162,37 +79,15 @@ func (ca *channelAccel) guide(st wstate) {
 			}
 		}
 	}
-	ca.guider.dispatch(simTime(ops)*e.cfg.ChannelGuiderCycle, func() {
-		switch {
-		case hotBlock >= 0 && ca.queueBytes+st.sizeBytes() <= e.cfg.ChannelWalkQueueBytes:
-			ca.queueBytes += st.sizeBytes()
-			ca.enqueueUpdate(st)
-		case foreignPart >= 0:
-			e.demoteWalk(foreignPart, st)
-		default:
-			st.rangeTag = rangeID
-			e.board.guide(st)
-		}
-	})
-}
-
-// enqueueUpdate runs a walk through the channel-level updater.
-func (ca *channelAccel) enqueueUpdate(st wstate) {
-	e := ca.e
-	size := st.sizeBytes()
-	h := e.decideHop(ca.rng, st)
-	e.chargeFilterProbes(h, nil)
-	ca.updater.dispatch(e.updateService(e.cfg.ChannelUpdaterCycle, h), func() {
-		ca.queueBytes -= size
-		e.res.HotHitsChannel++
-		if !h.deadEnd {
-			e.res.Hops++
-		}
-		if h.terminal {
-			e.board.completed()
-			e.finishWalk(!h.deadEnd)
+	ca.dispatchGuide(ops, func() {
+		if hotBlock >= 0 && ca.tryHotUpdate(st) {
 			return
 		}
-		ca.guide(h.next)
+		if foreignPart >= 0 {
+			e.demoteWalk(foreignPart, st)
+			return
+		}
+		st.rangeTag = rangeID
+		e.board.Guide(st)
 	})
 }

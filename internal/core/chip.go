@@ -1,7 +1,6 @@
 package core
 
 import (
-	"flashwalker/internal/rng"
 	"flashwalker/internal/trace"
 	"flashwalker/internal/walk"
 
@@ -26,14 +25,14 @@ const maxLoadDefers = 1
 // chipAccel is a chip-level accelerator: it loads subgraphs from its own
 // chip's flash planes, updates the walks landing in them, classifies
 // updated walks (stay local vs. roving), and buffers roving walks until
-// the channel-level accelerator fetches them.
+// the channel-level accelerator fetches them. Unlike the channel and board
+// tiers its residency is slot-driven, not hot-index-driven: the embedded
+// tierCommon's hot index stays empty and HotBlocks reports nil.
 type chipAccel struct {
-	e       *Engine
-	id      int
-	chip    *fl.Chip
-	slots   []*chipSlot
-	updater *unitPool
-	guider  *unitPool
+	tierCommon
+	id    int
+	chip  *fl.Chip
+	slots []*chipSlot
 
 	roving      []wstate
 	rovingBytes int64
@@ -42,8 +41,6 @@ type chipAccel struct {
 
 	// myBlocks caches this chip's block IDs in the current partition.
 	myBlocks []int
-
-	rng *rng.RNG
 }
 
 // refreshBlocks recomputes the candidate blocks for the current partition
@@ -247,13 +244,25 @@ func (c *chipAccel) loadBlock(s *chipSlot, blockID int) {
 	}
 }
 
+// EnqueueUpdate runs a walk through this chip's updater: into the slot
+// holding its subgraph, or — when no slot has it resident — the roving
+// buffer so a higher tier takes over. Overrides the tierCommon pipeline
+// because chip updates are slot-owned.
+func (c *chipAccel) EnqueueUpdate(st wstate) {
+	if s := c.matchSlot(st); s != nil {
+		c.enqueue(s, st)
+		return
+	}
+	c.addRoving(st)
+}
+
 // enqueue hands a walk to the slot's queue; the updater serves it FIFO.
 func (c *chipAccel) enqueue(s *chipSlot, st wstate) {
 	s.pending++
 	s.idle = false
 	h := c.e.decideHop(c.rng, st)
 	c.e.chargeFilterProbes(h, c)
-	c.updater.dispatch(c.e.updateService(c.e.cfg.ChipUpdaterCycle, h), func() {
+	c.updater.dispatch(c.e.updateService(c.updaterCycle, h), func() {
 		c.finishUpdate(s, h)
 	})
 }
@@ -278,7 +287,7 @@ func (c *chipAccel) finishUpdate(s *chipSlot, h hopOutcome) {
 		c.checkDrained(s)
 		return
 	}
-	c.guide(h.next)
+	c.Guide(h.next)
 	c.checkDrained(s)
 }
 
@@ -295,22 +304,27 @@ func (c *chipAccel) slotDrained(s *chipSlot) {
 	c.scheduleSlot(s)
 }
 
-// guide classifies an updated walk: back into a loaded subgraph's queue, or
+// Guide classifies an updated walk: back into a loaded subgraph's queue, or
 // into the roving buffer for the channel-level accelerator (§III-B).
-func (c *chipAccel) guide(st wstate) {
+func (c *chipAccel) Guide(st wstate) {
 	// One compare per loaded subgraph plus the move.
-	service := c.e.cfg.ChipGuiderCycle * simTime(1+len(c.slots))
-	c.guider.dispatch(service, func() {
+	c.dispatchGuide(1+len(c.slots), func() {
 		c.route(st)
 	})
 }
 
 func (c *chipAccel) route(st wstate) {
-	e := c.e
 	if target := c.matchSlot(st); target != nil {
 		c.enqueue(target, st)
 		return
 	}
+	c.addRoving(st)
+}
+
+// addRoving buffers a walk for the channel-level accelerator's next fetch,
+// stalling the guider when the roving buffer is full.
+func (c *chipAccel) addRoving(st wstate) {
+	e := c.e
 	if c.rovingBytes+st.sizeBytes() > e.cfg.ChipRovingBufBytes {
 		// Roving buffer full: the guider stalls until the channel-level
 		// accelerator's next fetch drains it.

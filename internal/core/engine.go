@@ -15,6 +15,19 @@ import (
 	"flashwalker/internal/walk"
 )
 
+// The engine implementation is split across focused files:
+//
+//	engine.go    — Engine struct, construction, Run loop, failure handling
+//	tier.go      — the tierAccel interface and the shared tier machinery
+//	wiring.go    — accelerator tier construction and hot-subgraph preload
+//	lifecycle.go — walk seeding, retirement, partition advance
+//	routing.go   — foreigner demotion/flush and the conservation audit
+//	scheduler.go — Eq. 1 scores and the partition walk buffer (PWB)
+//	route.go     — board-level routing decisions (classify/search)
+//	chip.go, channel.go, board.go — the three tier implementations
+//	hop.go       — walk-update (hop) decisions
+//	tables.go    — query cache and unit pools
+
 // wstate is a walk in flight through the accelerator hierarchy, carrying the
 // routing annotations the hardware attaches: the pre-walked dense block and
 // edge (paper §III-D) and the subgraph-range tag from the approximate walk
@@ -94,6 +107,9 @@ type Engine struct {
 	chips []*chipAccel
 	chans []*channelAccel
 	board *boardAccel
+	// tiers is every accelerator in the hierarchy behind the shared
+	// interface, in construction order (chips, channels, board).
+	tiers []tierAccel
 
 	// Per-block walk stores outside the accelerators.
 	pwb       [][]wstate // partition walk buffer entries (DRAM)
@@ -261,130 +277,6 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 	return e, nil
 }
 
-// buildAccelerators wires the three accelerator tiers.
-func (e *Engine) buildAccelerators() {
-	numChips := e.ssd.NumChips()
-	for i := 0; i < numChips; i++ {
-		c := &chipAccel{
-			e:       e,
-			id:      i,
-			chip:    e.ssd.Chip(i),
-			updater: newUnitPool(e.eng, e.cfg.ChipUpdaters),
-			guider:  newUnitPool(e.eng, e.cfg.ChipGuiders),
-			rng:     e.rootRNG.Derive(uint64(1000 + i)),
-		}
-		for s := 0; s < e.slotsPerChip; s++ {
-			c.slots = append(c.slots, &chipSlot{block: -1})
-		}
-		e.chips = append(e.chips, c)
-	}
-	for ch := 0; ch < e.ssd.Cfg.Channels; ch++ {
-		ca := &channelAccel{
-			e:       e,
-			id:      ch,
-			channel: e.ssd.Channel(ch),
-			updater: newUnitPool(e.eng, e.cfg.ChannelUpdaters),
-			guider:  newUnitPool(e.eng, e.cfg.ChannelGuiders),
-			rng:     e.rootRNG.Derive(uint64(2000 + ch)),
-		}
-		e.chans = append(e.chans, ca)
-	}
-	b := &boardAccel{
-		e:       e,
-		updater: newUnitPool(e.eng, e.cfg.BoardUpdaters),
-		guider:  newUnitPool(e.eng, e.cfg.BoardGuiders),
-		rng:     e.rootRNG.Derive(3000),
-	}
-	for i := 0; i < e.cfg.TablePorts; i++ {
-		b.ports = append(b.ports, sim.NewQueue(e.eng))
-	}
-	if e.cfg.Opts.WalkQuery {
-		for i := 0; i < e.cfg.NumQueryCaches; i++ {
-			b.caches = append(b.caches, newQueryCache(e.cfg.QueryCacheBytes, e.cfg.MappingEntryBytes))
-		}
-	}
-	e.board = b
-	e.selectHotSubgraphs()
-}
-
-// selectHotSubgraphs picks the top in-degree non-dense blocks for the board
-// and for each channel (paper §III-C: channels keep the top-K among blocks
-// on their own chips).
-func (e *Engine) selectHotSubgraphs() {
-	if !e.cfg.Opts.HotSubgraphs {
-		return
-	}
-	sums := e.part.InDegreeSums()
-	pick := func(candidates []int, capBytes int64) []int {
-		budget := capBytes
-		// Selection sort of the top items by in-degree sum; candidate lists
-		// are small (blocks per channel).
-		chosen := []int{}
-		used := map[int]bool{}
-		for {
-			best, bestSum := -1, uint64(0)
-			for _, id := range candidates {
-				b := &e.part.Blocks[id]
-				if used[id] || b.Dense || b.Bytes > budget {
-					continue
-				}
-				if best == -1 || sums[id] > bestSum {
-					best, bestSum = id, sums[id]
-				}
-			}
-			if best == -1 {
-				break
-			}
-			used[best] = true
-			budget -= e.part.Blocks[best].Bytes
-			chosen = append(chosen, best)
-		}
-		return chosen
-	}
-	all := make([]int, e.part.NumBlocks())
-	for i := range all {
-		all[i] = i
-	}
-	e.board.setHotBlocks(pick(all, e.cfg.BoardSubgraphBufBytes))
-	for ch, ca := range e.chans {
-		ca.setHotBlocks(pick(e.place.BlocksOnChannel(ch), e.cfg.ChannelSubgraphBufBytes))
-	}
-}
-
-// seedWalksFrom creates the workload from the given start vertices and
-// sorts walks into per-partition pending lists (walk initialization is
-// host-side preprocessing; it is not charged to the simulated clock,
-// matching the paper's exclusion of preprocessing).
-func (e *Engine) seedWalksFrom(starts []graph.VertexID, n int) {
-	ws := walk.NewWalks(e.spec, starts, n)
-	e.remaining = len(ws)
-	e.res.Started = len(ws)
-	for i := range ws {
-		st := wstate{w: ws[i], denseBlock: -1, rangeTag: -1, prev: noPrev}
-		if e.res.Visits != nil {
-			e.res.Visits[st.w.Cur]++
-		}
-		p := e.homePartition(st.w.Cur)
-		e.pendingMem[p] = append(e.pendingMem[p], st)
-	}
-	for p := range e.pendingMem {
-		e.flushMark[p] = len(e.pendingMem[p])
-	}
-}
-
-// homePartition reports which partition a vertex's subgraph belongs to
-// (dense vertices use their first block).
-func (e *Engine) homePartition(v graph.VertexID) int {
-	if m, ok := e.part.Dense.Lookup(v); ok {
-		return e.part.PartitionOf(m.FirstBlockID)
-	}
-	id, _ := e.part.BlockOf(v)
-	if id < 0 {
-		return 0
-	}
-	return e.part.PartitionOf(id)
-}
-
 // Run executes the simulation to completion and returns the result.
 func (e *Engine) Run() (*Result, error) {
 	e.preloadHotSubgraphs()
@@ -414,60 +306,45 @@ func (e *Engine) Run() (*Result, error) {
 	e.res.DRAMReadBytes = e.dr.ReadBytes
 	e.res.DRAMWriteBytes = e.dr.WriteBytes
 	e.res.DRAMPortUtil = e.dr.Utilization()
-	e.res.BoardGuiderUtil = e.board.guider.utilization()
-	var chipU, chipMax, busMax float64
-	for _, c := range e.chips {
-		u := c.updater.utilization()
-		chipU += u
-		if u > chipMax {
-			chipMax = u
+	e.collectTierStats()
+	return &e.res, nil
+}
+
+// collectTierStats folds every tier's utilization snapshot into the result
+// (averages and maxima per level) plus the channel-bus peak.
+func (e *Engine) collectTierStats() {
+	var chipU, chipMax, chanGU float64
+	var nChip, nChan int
+	for _, t := range e.tiers {
+		st := t.Stats()
+		switch st.Level {
+		case tierChip:
+			nChip++
+			chipU += st.UpdaterUtil
+			if st.UpdaterUtil > chipMax {
+				chipMax = st.UpdaterUtil
+			}
+		case tierChannel:
+			nChan++
+			chanGU += st.GuiderUtil
+		case tierBoard:
+			e.res.BoardGuiderUtil = st.GuiderUtil
 		}
 	}
-	e.res.ChipUpdaterUtil = chipU / float64(len(e.chips))
+	if nChip > 0 {
+		e.res.ChipUpdaterUtil = chipU / float64(nChip)
+	}
 	e.res.ChipUpdaterUtilMax = chipMax
-	var chGU float64
+	if nChan > 0 {
+		e.res.ChannelGuiderUtil = chanGU / float64(nChan)
+	}
+	var busMax float64
 	for _, ca := range e.chans {
-		chGU += ca.guider.utilization()
 		if u := ca.channel.Bus.Utilization(); u > busMax {
 			busMax = u
 		}
 	}
-	e.res.ChannelGuiderUtil = chGU / float64(len(e.chans))
 	e.res.ChannelBusUtilMax = busMax
-	return &e.res, nil
-}
-
-// preloadHotSubgraphs reads hot blocks into the channel and board buffers
-// at time zero, paying the flash and bus traffic.
-func (e *Engine) preloadHotSubgraphs() {
-	if !e.cfg.Opts.HotSubgraphs {
-		e.board.hotReady = true
-		for _, ca := range e.chans {
-			ca.hotReady = true
-		}
-		return
-	}
-	load := func(ids []int, ready *bool) {
-		if len(ids) == 0 {
-			*ready = true
-			return
-		}
-		left := len(ids)
-		for _, id := range ids {
-			pages := e.part.Pages(&e.part.Blocks[id], e.ssd.Cfg.PageBytes)
-			chip := e.ssd.Chip(e.place.ChipOf(id))
-			e.ssd.ReadPagesToChannel(chip, pages, func() {
-				left--
-				if left == 0 {
-					*ready = true
-				}
-			})
-		}
-	}
-	load(e.board.hotList(), &e.board.hotReady)
-	for _, ca := range e.chans {
-		load(ca.hotList(), &ca.hotReady)
-	}
 }
 
 // fail aborts the simulation with an error.
@@ -476,267 +353,4 @@ func (e *Engine) fail(err error) {
 		e.failure = err
 	}
 	e.finished = true
-}
-
-// finishWalk retires a walk (completed or dead-ended).
-func (e *Engine) finishWalk(completed bool) {
-	if completed {
-		e.res.Completed++
-		e.emit(trace.WalkDone, 1, 0)
-	} else {
-		e.res.DeadEnded++
-		e.emit(trace.WalkDone, 0, 0)
-	}
-	if e.res.ProgressTS != nil {
-		e.res.ProgressTS.Add(e.eng.Now(), 1)
-	}
-	e.remaining--
-	e.activeCur--
-	e.checkPartitionDone()
-}
-
-// demoteWalk moves a foreigner out of the current partition: the walk
-// lands in the board's foreigner buffer (tracked as the tail of
-// pendingMem[p]); if the buffer fills, every buffered foreigner is flushed
-// to flash (§III-C/D).
-func (e *Engine) demoteWalk(p int, st wstate) {
-	st.clearTags()
-	e.pendingMem[p] = append(e.pendingMem[p], st)
-	e.foreignerBufBytes += walk.StateBytes
-	e.res.ForeignerWalks++
-	if e.foreignerBufBytes >= e.cfg.ForeignerBufBytes {
-		e.flushForeigners()
-	}
-	e.activeCur--
-	e.checkPartitionDone()
-}
-
-// flushForeigners writes every foreigner-buffer resident to flash and
-// records the read-back debt per destination partition.
-func (e *Engine) flushForeigners() {
-	var totalBytes int64
-	for p := range e.pendingMem {
-		tail := e.pendingMem[p][e.flushMark[p]:]
-		if len(tail) == 0 {
-			continue
-		}
-		bytes := int64(len(tail)) * walk.StateBytes
-		e.pendingFlash[p] = append(e.pendingFlash[p], tail...)
-		e.pendingFlashBytes[p] += bytes
-		e.pendingMem[p] = e.pendingMem[p][:e.flushMark[p]]
-		totalBytes += bytes
-	}
-	e.foreignerBufBytes = 0
-	if totalBytes == 0 {
-		return
-	}
-	e.res.ForeignerFlushes++
-	e.emit(trace.ForeignerFlush, totalBytes, 0)
-	e.dr.Read(totalBytes, nil)
-	pages := int((totalBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
-	e.ssd.ProgramPagesFromBoard(e.flushChip(), pages, nil)
-}
-
-// checkPartitionDone advances to the next partition once the current one is
-// fully drained.
-func (e *Engine) checkPartitionDone() {
-	if e.finished || e.activeCur > 0 {
-		return
-	}
-	if e.activeCur < 0 {
-		e.fail(fmt.Errorf("core: activeCur went negative"))
-		return
-	}
-	if !e.advancePartition() {
-		e.finished = true
-		if e.remaining != 0 {
-			e.fail(fmt.Errorf("core: no partitions left but %d walks remain", e.remaining))
-		}
-	}
-}
-
-// auditConservation verifies that every started walk is accounted for:
-// finished + in pending stores + active in the current partition. Called
-// between partitions (activeCur == 0, so nothing is in flight).
-func (e *Engine) auditConservation(where string) {
-	if !e.audit || e.failure != nil {
-		return
-	}
-	stored := 0
-	for p := range e.pendingMem {
-		stored += len(e.pendingMem[p]) + len(e.pendingFlash[p])
-	}
-	for b := range e.pwb {
-		stored += len(e.pwb[b]) + len(e.fls[b])
-	}
-	finished := e.res.Completed + e.res.DeadEnded
-	if got := stored + finished + e.activeCur - e.activeCurStoredOverlap(); got != e.res.Started {
-		e.fail(fmt.Errorf("core: audit(%s): %d stored + %d finished + %d active != %d started",
-			where, stored, finished, e.activeCur, e.res.Started))
-	}
-}
-
-// activeCurStoredOverlap counts walks that are both active and sitting in
-// a per-block store of the current partition (pwb/fls double-count
-// against activeCur in the audit sum).
-func (e *Engine) activeCurStoredOverlap() int {
-	if e.curPart < 0 {
-		return 0
-	}
-	first, last := e.part.PartitionSpan(e.curPart)
-	n := 0
-	for b := first; b <= last; b++ {
-		n += len(e.pwb[b]) + len(e.fls[b])
-	}
-	return n
-}
-
-// advancePartition selects the next partition holding walks and dispatches
-// its pending set. It reports false when no walks remain anywhere.
-func (e *Engine) advancePartition() bool {
-	e.auditConservation("partition-switch")
-	np := e.part.NumPartitions
-	for step := 1; step <= np; step++ {
-		p := (e.curPart + step) % np
-		if e.curPart < 0 {
-			p = step - 1
-		}
-		if len(e.pendingMem[p]) == 0 && len(e.pendingFlash[p]) == 0 {
-			continue
-		}
-		e.startPartition(p)
-		return true
-	}
-	return false
-}
-
-// startPartition switches the engine to partition p: invalidates the query
-// caches (their entries map the old partition's table), refreshes each
-// chip's candidate block list, reads back flushed foreigner walks, and
-// routes every pending walk through the board guider.
-func (e *Engine) startPartition(p int) {
-	e.curPart = p
-	e.res.PartitionSwitches++
-	e.emit(trace.PartitionSwitch, int64(p),
-		int64(len(e.pendingMem[p])+len(e.pendingFlash[p])))
-	for _, qc := range e.board.caches {
-		qc.invalidate()
-	}
-	for _, c := range e.chips {
-		c.refreshBlocks()
-	}
-
-	// Foreigner-buffer residents bound for p are consumed now.
-	e.foreignerBufBytes -= int64(len(e.pendingMem[p])-e.flushMark[p]) * walk.StateBytes
-	if e.foreignerBufBytes < 0 {
-		e.foreignerBufBytes = 0
-	}
-	e.flushMark[p] = 0
-	mem := e.pendingMem[p]
-	e.pendingMem[p] = nil
-	fl := e.pendingFlash[p]
-	flBytes := e.pendingFlashBytes[p]
-	e.pendingFlash[p] = nil
-	e.pendingFlashBytes[p] = 0
-
-	e.activeCur = len(mem) + len(fl)
-
-	dispatch := func(ws []wstate) {
-		for i := range ws {
-			e.board.guide(ws[i])
-		}
-	}
-	dispatch(mem)
-	if len(fl) > 0 {
-		// Read the flushed foreigner pages back (striped over chips, the
-		// same way they were written).
-		pages := int((flBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
-		left := pages
-		for i := 0; i < pages; i++ {
-			chip := e.ssd.Chip(e.flushChipRR)
-			e.flushChipRR = (e.flushChipRR + 1) % e.ssd.NumChips()
-			e.ssd.ReadPagesToChannel(chip, 1, func() {
-				left--
-				if left == 0 {
-					dispatch(fl)
-				}
-			})
-		}
-	}
-	if e.activeCur == 0 {
-		// Nothing was pending after all (shouldn't happen, lists checked).
-		e.checkPartitionDone()
-	}
-}
-
-// flushChip picks the next chip for board-side flash writes (round-robin).
-func (e *Engine) flushChip() *flash.Chip {
-	c := e.ssd.Chip(e.flushChipRR)
-	e.flushChipRR = (e.flushChipRR + 1) % e.ssd.NumChips()
-	return c
-}
-
-// inCurrentPartition reports whether block b belongs to the active
-// partition.
-func (e *Engine) inCurrentPartition(b int) bool {
-	return e.part.PartitionOf(b) == e.curPart
-}
-
-// blockScore computes the Eq. 1 critical degree for block b. With
-// SmartSchedule disabled it degrades to the walk count (GraphWalker-style
-// most-walks-first).
-func (e *Engine) blockScore(b int) float64 {
-	pwb := float64(len(e.pwb[b]))
-	fl := float64(len(e.fls[b]))
-	if !e.cfg.Opts.SmartSchedule {
-		return pwb + fl
-	}
-	s := pwb*e.cfg.Alpha + fl
-	if !e.part.Blocks[b].Dense {
-		s *= e.cfg.Beta
-	}
-	return s
-}
-
-// refreshScore recomputes block b's cached score.
-func (e *Engine) refreshScore(b int) {
-	e.score[b] = e.blockScore(b)
-	e.scorePend[b] = 0
-}
-
-// insertPWB places a walk into the partition walk buffer entry of block b,
-// overflowing the entry to flash when it fills (§III-D). chargeDRAM writes
-// the record through the DRAM port.
-func (e *Engine) insertPWB(b int, st wstate) {
-	sz := st.sizeBytes()
-	e.dr.Write(sz, nil)
-	e.pwb[b] = append(e.pwb[b], st)
-	e.pwbBytes[b] += sz
-	if e.pwbBytes[b] > e.cfg.PartitionWalkEntryBytes {
-		e.overflowPWB(b)
-	}
-	e.scorePend[b]++
-	if e.scorePend[b] >= e.cfg.ScoreUpdateEveryM {
-		e.refreshScore(b)
-	}
-	// A chip with an idle slot may now have work.
-	e.chips[e.place.ChipOf(b)].trySchedule()
-}
-
-// overflowPWB flushes block b's walk buffer entry to flash.
-func (e *Engine) overflowPWB(b int) {
-	walks := e.pwb[b]
-	bytes := e.pwbBytes[b]
-	e.pwb[b] = nil
-	e.pwbBytes[b] = 0
-	e.fls[b] = append(e.fls[b], walks...)
-	pages := int((bytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
-	e.flsPages[b] += pages
-	e.res.PWBOverflows++
-	e.emit(trace.PWBOverflow, int64(b), int64(len(walks)))
-	// The entry moves through the chip-level walk-overflow buffer and is
-	// programmed on the block's own chip, so the read-back later is local.
-	e.dr.Read(bytes, nil)
-	e.ssd.ProgramPagesFromBoard(e.ssd.Chip(e.place.ChipOf(b)), pages, nil)
-	e.refreshScore(b)
 }

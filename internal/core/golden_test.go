@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"flashwalker/internal/walk"
+)
+
+// goldenDigest is the reference digest of a fixed (graph, seed, walk count)
+// run, captured before the tierAccel refactor. Any change to it means the
+// simulated timeline moved: RNG draw order, event ordering, or routing
+// changed somewhere. Refactors must keep it bit-identical; a PR that
+// intentionally changes simulated behaviour must say so and update this
+// constant.
+const goldenDigest = "time=874000 started=500 completed=406 dead=94 hops=2530 " +
+	"readPages=471 progPages=0 readB=1929216 chanB=278600 " +
+	"dramR=39280 dramW=39280 " +
+	"qcHit=537 qcMiss=1909 search=7508 range=1541 prewalk=0 " +
+	"hotCh=228 hotBd=411 chip=1985 loads=697 reloads=274 " +
+	"pwb=0 foreign=496 switches=7"
+
+// goldenConfig is the golden run's workload: the standard small test rig
+// with every optimization on, second partition pressure (low per-partition
+// block count), and the conservation audit enabled.
+func goldenConfig() RunConfig {
+	rc := testConfig()
+	rc.Cfg.Opts = AllOptions()
+	rc.NumWalks = 500
+	rc.StartSeed = 11
+	rc.Cfg.Seed = 9
+	rc.Audit = true
+	rc.Spec = walk.Spec{Kind: walk.Unbiased, Length: 6}
+	return rc
+}
+
+func digestResult(res *Result) string {
+	return fmt.Sprintf(
+		"time=%d started=%d completed=%d dead=%d hops=%d "+
+			"readPages=%d progPages=%d readB=%d chanB=%d "+
+			"dramR=%d dramW=%d "+
+			"qcHit=%d qcMiss=%d search=%d range=%d prewalk=%d "+
+			"hotCh=%d hotBd=%d chip=%d loads=%d reloads=%d "+
+			"pwb=%d foreign=%d switches=%d",
+		res.Time, res.Started, res.Completed, res.DeadEnded, res.Hops,
+		res.Flash.ReadPages, res.Flash.ProgramPages, res.Flash.ReadBytes, res.Flash.ChannelBytes,
+		res.DRAMReadBytes, res.DRAMWriteBytes,
+		res.QueryCacheHits, res.QueryCacheMisses, res.TableSearchSteps, res.RangeQueries, res.PreWalks,
+		res.HotHitsChannel, res.HotHitsBoard, res.ChipUpdates, res.SubgraphLoads, res.SubgraphReloads,
+		res.PWBOverflows, res.ForeignerWalks, res.PartitionSwitches)
+}
+
+// TestGoldenSeedDigest pins the full simulated timeline of one fixed run.
+func TestGoldenSeedDigest(t *testing.T) {
+	g := testGraph(t)
+	res := runEngine(t, g, goldenConfig())
+	if got := digestResult(res); got != goldenDigest {
+		t.Fatalf("golden digest changed:\n got %s\nwant %s", got, goldenDigest)
+	}
+}
+
+// TestGoldenSeedRepeatable guards the determinism the digest relies on:
+// two engines built from the same RunConfig produce identical digests.
+func TestGoldenSeedRepeatable(t *testing.T) {
+	g := testGraph(t)
+	a := digestResult(runEngine(t, g, goldenConfig()))
+	b := digestResult(runEngine(t, g, goldenConfig()))
+	if a != b {
+		t.Fatalf("same config, different digests:\n a %s\n b %s", a, b)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"flashwalker/internal/graph"
+	"flashwalker/internal/trace"
+	"flashwalker/internal/walk"
+)
+
+// This file is the walk lifecycle: seeding the workload, retiring finished
+// walks, and advancing through graph partitions as each drains.
+
+// seedWalksFrom creates the workload from the given start vertices and
+// sorts walks into per-partition pending lists (walk initialization is
+// host-side preprocessing; it is not charged to the simulated clock,
+// matching the paper's exclusion of preprocessing).
+func (e *Engine) seedWalksFrom(starts []graph.VertexID, n int) {
+	ws := walk.NewWalks(e.spec, starts, n)
+	e.remaining = len(ws)
+	e.res.Started = len(ws)
+	for i := range ws {
+		st := wstate{w: ws[i], denseBlock: -1, rangeTag: -1, prev: noPrev}
+		if e.res.Visits != nil {
+			e.res.Visits[st.w.Cur]++
+		}
+		p := e.homePartition(st.w.Cur)
+		e.pendingMem[p] = append(e.pendingMem[p], st)
+	}
+	for p := range e.pendingMem {
+		e.flushMark[p] = len(e.pendingMem[p])
+	}
+}
+
+// homePartition reports which partition a vertex's subgraph belongs to
+// (dense vertices use their first block).
+func (e *Engine) homePartition(v graph.VertexID) int {
+	if m, ok := e.part.Dense.Lookup(v); ok {
+		return e.part.PartitionOf(m.FirstBlockID)
+	}
+	id, _ := e.part.BlockOf(v)
+	if id < 0 {
+		return 0
+	}
+	return e.part.PartitionOf(id)
+}
+
+// finishWalk retires a walk (completed or dead-ended).
+func (e *Engine) finishWalk(completed bool) {
+	if completed {
+		e.res.Completed++
+		e.emit(trace.WalkDone, 1, 0)
+	} else {
+		e.res.DeadEnded++
+		e.emit(trace.WalkDone, 0, 0)
+	}
+	if e.res.ProgressTS != nil {
+		e.res.ProgressTS.Add(e.eng.Now(), 1)
+	}
+	e.remaining--
+	e.activeCur--
+	e.checkPartitionDone()
+}
+
+// checkPartitionDone advances to the next partition once the current one is
+// fully drained.
+func (e *Engine) checkPartitionDone() {
+	if e.finished || e.activeCur > 0 {
+		return
+	}
+	if e.activeCur < 0 {
+		e.fail(fmt.Errorf("core: activeCur went negative"))
+		return
+	}
+	if !e.advancePartition() {
+		e.finished = true
+		if e.remaining != 0 {
+			e.fail(fmt.Errorf("core: no partitions left but %d walks remain", e.remaining))
+		}
+	}
+}
+
+// advancePartition selects the next partition holding walks and dispatches
+// its pending set. It reports false when no walks remain anywhere.
+func (e *Engine) advancePartition() bool {
+	e.auditConservation("partition-switch")
+	np := e.part.NumPartitions
+	for step := 1; step <= np; step++ {
+		p := (e.curPart + step) % np
+		if e.curPart < 0 {
+			p = step - 1
+		}
+		if len(e.pendingMem[p]) == 0 && len(e.pendingFlash[p]) == 0 {
+			continue
+		}
+		e.startPartition(p)
+		return true
+	}
+	return false
+}
+
+// startPartition switches the engine to partition p: invalidates the query
+// caches (their entries map the old partition's table), refreshes each
+// chip's candidate block list, reads back flushed foreigner walks, and
+// routes every pending walk through the board guider.
+func (e *Engine) startPartition(p int) {
+	e.curPart = p
+	e.res.PartitionSwitches++
+	e.emit(trace.PartitionSwitch, int64(p),
+		int64(len(e.pendingMem[p])+len(e.pendingFlash[p])))
+	for _, qc := range e.board.caches {
+		qc.invalidate()
+	}
+	for _, c := range e.chips {
+		c.refreshBlocks()
+	}
+
+	// Foreigner-buffer residents bound for p are consumed now.
+	e.foreignerBufBytes -= int64(len(e.pendingMem[p])-e.flushMark[p]) * walk.StateBytes
+	if e.foreignerBufBytes < 0 {
+		e.foreignerBufBytes = 0
+	}
+	e.flushMark[p] = 0
+	mem := e.pendingMem[p]
+	e.pendingMem[p] = nil
+	fl := e.pendingFlash[p]
+	flBytes := e.pendingFlashBytes[p]
+	e.pendingFlash[p] = nil
+	e.pendingFlashBytes[p] = 0
+
+	e.activeCur = len(mem) + len(fl)
+
+	dispatch := func(ws []wstate) {
+		for i := range ws {
+			e.board.Guide(ws[i])
+		}
+	}
+	dispatch(mem)
+	if len(fl) > 0 {
+		// Read the flushed foreigner pages back (striped over chips, the
+		// same way they were written).
+		pages := int((flBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
+		left := pages
+		for i := 0; i < pages; i++ {
+			chip := e.ssd.Chip(e.flushChipRR)
+			e.flushChipRR = (e.flushChipRR + 1) % e.ssd.NumChips()
+			e.ssd.ReadPagesToChannel(chip, 1, func() {
+				left--
+				if left == 0 {
+					dispatch(fl)
+				}
+			})
+		}
+	}
+	if e.activeCur == 0 {
+		// Nothing was pending after all (shouldn't happen, lists checked).
+		e.checkPartitionDone()
+	}
+}

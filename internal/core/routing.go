@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"flashwalker/internal/flash"
+	"flashwalker/internal/trace"
+	"flashwalker/internal/walk"
+)
+
+// This file is the engine-side walk routing support shared by the tiers —
+// the foreigner path (demotion, buffer flush, read-back debt) — and the
+// walk-conservation audit that proves no walk is lost or duplicated while
+// moving between stores.
+
+// demoteWalk moves a foreigner out of the current partition: the walk
+// lands in the board's foreigner buffer (tracked as the tail of
+// pendingMem[p]); if the buffer fills, every buffered foreigner is flushed
+// to flash (§III-C/D).
+func (e *Engine) demoteWalk(p int, st wstate) {
+	st.clearTags()
+	e.pendingMem[p] = append(e.pendingMem[p], st)
+	e.foreignerBufBytes += walk.StateBytes
+	e.res.ForeignerWalks++
+	if e.foreignerBufBytes >= e.cfg.ForeignerBufBytes {
+		e.flushForeigners()
+	}
+	e.activeCur--
+	e.checkPartitionDone()
+}
+
+// flushForeigners writes every foreigner-buffer resident to flash and
+// records the read-back debt per destination partition.
+func (e *Engine) flushForeigners() {
+	var totalBytes int64
+	for p := range e.pendingMem {
+		tail := e.pendingMem[p][e.flushMark[p]:]
+		if len(tail) == 0 {
+			continue
+		}
+		bytes := int64(len(tail)) * walk.StateBytes
+		e.pendingFlash[p] = append(e.pendingFlash[p], tail...)
+		e.pendingFlashBytes[p] += bytes
+		e.pendingMem[p] = e.pendingMem[p][:e.flushMark[p]]
+		totalBytes += bytes
+	}
+	e.foreignerBufBytes = 0
+	if totalBytes == 0 {
+		return
+	}
+	e.res.ForeignerFlushes++
+	e.emit(trace.ForeignerFlush, totalBytes, 0)
+	e.dr.Read(totalBytes, nil)
+	pages := int((totalBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
+	e.ssd.ProgramPagesFromBoard(e.flushChip(), pages, nil)
+}
+
+// flushChip picks the next chip for board-side flash writes (round-robin).
+func (e *Engine) flushChip() *flash.Chip {
+	c := e.ssd.Chip(e.flushChipRR)
+	e.flushChipRR = (e.flushChipRR + 1) % e.ssd.NumChips()
+	return c
+}
+
+// inCurrentPartition reports whether block b belongs to the active
+// partition.
+func (e *Engine) inCurrentPartition(b int) bool {
+	return e.part.PartitionOf(b) == e.curPart
+}
+
+// auditConservation verifies that every started walk is accounted for:
+// finished + in pending stores + active in the current partition. Called
+// between partitions (activeCur == 0, so nothing is in flight).
+func (e *Engine) auditConservation(where string) {
+	if !e.audit || e.failure != nil {
+		return
+	}
+	stored := 0
+	for p := range e.pendingMem {
+		stored += len(e.pendingMem[p]) + len(e.pendingFlash[p])
+	}
+	for b := range e.pwb {
+		stored += len(e.pwb[b]) + len(e.fls[b])
+	}
+	finished := e.res.Completed + e.res.DeadEnded
+	if got := stored + finished + e.activeCur - e.activeCurStoredOverlap(); got != e.res.Started {
+		e.fail(fmt.Errorf("core: audit(%s): %d stored + %d finished + %d active != %d started",
+			where, stored, finished, e.activeCur, e.res.Started))
+	}
+}
+
+// activeCurStoredOverlap counts walks that are both active and sitting in
+// a per-block store of the current partition (pwb/fls double-count
+// against activeCur in the audit sum).
+func (e *Engine) activeCurStoredOverlap() int {
+	if e.curPart < 0 {
+		return 0
+	}
+	first, last := e.part.PartitionSpan(e.curPart)
+	n := 0
+	for b := first; b <= last; b++ {
+		n += len(e.pwb[b]) + len(e.fls[b])
+	}
+	return n
+}

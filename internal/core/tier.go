@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sort"
+
+	"flashwalker/internal/graph"
+	"flashwalker/internal/partition"
+	"flashwalker/internal/rng"
+	"flashwalker/internal/sim"
+)
+
+// simTime converts an int operation count to a sim.Time multiplier.
+func simTime(n int) sim.Time { return sim.Time(n) }
+
+// tierAccel is the contract shared by the three accelerator tiers (chip,
+// channel, board). The engine drives every tier through it: Guide
+// classifies a walk at the tier and routes it onward, EnqueueUpdate runs a
+// walk through the tier's updater pool, HotBlocks/SetHotBlocks manage the
+// tier's resident hot-subgraph set, and Stats snapshots utilization.
+// Adding a fourth tier (or replacing a routing policy) means implementing
+// this interface and wiring it in buildAccelerators — nothing else.
+type tierAccel interface {
+	// Guide classifies a walk at this tier (guider pipeline) and routes it
+	// onward: into the tier's own updater, down to a lower tier's buffers,
+	// or out to the foreigner path.
+	Guide(st wstate)
+	// EnqueueUpdate runs a walk through this tier's updater pool and
+	// re-guides or retires the outcome.
+	EnqueueUpdate(st wstate)
+	// HotBlocks reports the tier's resident hot-subgraph block IDs.
+	HotBlocks() []int
+	// SetHotBlocks installs the tier's hot-subgraph set.
+	SetHotBlocks(ids []int)
+	// Stats snapshots the tier's utilization counters.
+	Stats() TierStats
+}
+
+// Tier level names reported in TierStats.Level.
+const (
+	tierChip    = "chip"
+	tierChannel = "channel"
+	tierBoard   = "board"
+)
+
+// TierStats is one tier's utilization snapshot.
+type TierStats struct {
+	Level       string // "chip", "channel", or "board"
+	UpdaterUtil float64
+	GuiderUtil  float64
+	UpdaterJobs uint64
+	GuiderJobs  uint64
+	QueueBytes  int64 // walks currently buffered for hot-subgraph updating
+}
+
+// tierCommon is the state and behaviour every accelerator tier shares: the
+// updater/guider unit pools, the per-tier RNG stream, the hot-subgraph
+// index, and the hot-update walk queue. chipAccel, channelAccel and
+// boardAccel embed it; the chip tier leaves the hot index empty (its
+// residency is slot-driven, see chipSlot).
+type tierCommon struct {
+	e       *Engine
+	updater *unitPool
+	guider  *unitPool
+	rng     *rng.RNG
+
+	hot      *hotIndex
+	hotReady bool
+
+	queueBytes int64 // walks buffered for hot-subgraph updating
+
+	level        string
+	updaterCycle sim.Time
+	guiderCycle  sim.Time
+	queueCap     int64   // hot-update queue capacity (0: tier has none)
+	hotHits      *uint64 // Result counter for hot-subgraph updates (nil: chip)
+	self         tierAccel
+}
+
+func (t *tierCommon) SetHotBlocks(ids []int) {
+	t.hot = newHotIndex(t.e.part, ids)
+}
+
+func (t *tierCommon) HotBlocks() []int { return t.hot.ids() }
+
+func (t *tierCommon) Stats() TierStats {
+	return TierStats{
+		Level:       t.level,
+		UpdaterUtil: t.updater.utilization(),
+		GuiderUtil:  t.guider.utilization(),
+		UpdaterJobs: t.updater.jobs,
+		GuiderJobs:  t.guider.jobs,
+		QueueBytes:  t.queueBytes,
+	}
+}
+
+// dispatchGuide charges ops guider operations at this tier's cycle time,
+// then applies the routing outcome.
+func (t *tierCommon) dispatchGuide(ops int, apply func()) {
+	t.guider.dispatch(simTime(ops)*t.guiderCycle, apply)
+}
+
+// tryHotUpdate claims hot-update queue capacity for st and, on success,
+// runs it through the tier's updater. It reports false (walk untouched)
+// when the queue is full.
+func (t *tierCommon) tryHotUpdate(st wstate) bool {
+	if t.queueBytes+st.sizeBytes() > t.queueCap {
+		return false
+	}
+	t.queueBytes += st.sizeBytes()
+	t.self.EnqueueUpdate(st)
+	return true
+}
+
+// EnqueueUpdate is the shared hot-subgraph update pipeline (§III-C/D):
+// decide the hop, charge its filter probes, occupy an updater for the
+// service time, then retire the walk or re-guide it at this tier. The
+// chip tier overrides it (its updates are slot-owned, see chipAccel).
+func (t *tierCommon) EnqueueUpdate(st wstate) {
+	e := t.e
+	size := st.sizeBytes()
+	h := e.decideHop(t.rng, st)
+	e.chargeFilterProbes(h, nil)
+	t.updater.dispatch(e.updateService(t.updaterCycle, h), func() {
+		t.queueBytes -= size
+		if t.hotHits != nil {
+			*t.hotHits++
+		}
+		if !h.deadEnd {
+			e.res.Hops++
+		}
+		if h.terminal {
+			e.board.completed()
+			e.finishWalk(!h.deadEnd)
+			return
+		}
+		t.self.Guide(h.next)
+	})
+}
+
+// hotEntry is one resident hot subgraph, kept sorted by LowVertex so the
+// guider's membership test is a binary search.
+type hotEntry struct {
+	low, high graph.VertexID
+	block     int
+}
+
+// hotIndex is a sorted hot-subgraph membership structure shared by the
+// accelerator tiers.
+type hotIndex struct {
+	entries []hotEntry
+	set     map[int]bool
+}
+
+func newHotIndex(part *partition.Partitioned, ids []int) *hotIndex {
+	h := &hotIndex{set: map[int]bool{}}
+	for _, id := range ids {
+		b := &part.Blocks[id]
+		h.entries = append(h.entries, hotEntry{low: b.LowVertex, high: b.HighVertex, block: id})
+		h.set[id] = true
+	}
+	sort.Slice(h.entries, func(i, j int) bool { return h.entries[i].low < h.entries[j].low })
+	return h
+}
+
+// find binary-searches for the hot block containing v; steps is the number
+// of comparisons (guider operations).
+func (h *hotIndex) find(v graph.VertexID) (block, steps int) {
+	lo, hi := 0, len(h.entries)-1
+	for lo <= hi {
+		steps++
+		mid := (lo + hi) / 2
+		e := h.entries[mid]
+		switch {
+		case v < e.low:
+			hi = mid - 1
+		case v > e.high:
+			lo = mid + 1
+		default:
+			return e.block, steps
+		}
+	}
+	if steps == 0 {
+		steps = 1
+	}
+	return -1, steps
+}
+
+func (h *hotIndex) contains(block int) bool { return h != nil && h.set[block] }
+
+func (h *hotIndex) ids() []int {
+	if h == nil {
+		return nil
+	}
+	out := make([]int, 0, len(h.entries))
+	for _, e := range h.entries {
+		out = append(out, e.block)
+	}
+	return out
+}

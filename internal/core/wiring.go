@@ -1,0 +1,155 @@
+package core
+
+import "flashwalker/internal/sim"
+
+// buildAccelerators wires the accelerator hierarchy: one chip-level
+// accelerator per flash chip, one channel-level accelerator per channel,
+// and the board-level accelerator, all registered in e.tiers behind the
+// shared tierAccel interface. A fourth tier would be constructed and
+// appended here.
+func (e *Engine) buildAccelerators() {
+	numChips := e.ssd.NumChips()
+	for i := 0; i < numChips; i++ {
+		c := &chipAccel{
+			tierCommon: tierCommon{
+				e:            e,
+				updater:      newUnitPool(e.eng, e.cfg.ChipUpdaters),
+				guider:       newUnitPool(e.eng, e.cfg.ChipGuiders),
+				rng:          e.rootRNG.Derive(uint64(1000 + i)),
+				level:        tierChip,
+				updaterCycle: e.cfg.ChipUpdaterCycle,
+				guiderCycle:  e.cfg.ChipGuiderCycle,
+			},
+			id:   i,
+			chip: e.ssd.Chip(i),
+		}
+		c.self = c
+		for s := 0; s < e.slotsPerChip; s++ {
+			c.slots = append(c.slots, &chipSlot{block: -1})
+		}
+		e.chips = append(e.chips, c)
+		e.tiers = append(e.tiers, c)
+	}
+	for ch := 0; ch < e.ssd.Cfg.Channels; ch++ {
+		ca := &channelAccel{
+			tierCommon: tierCommon{
+				e:            e,
+				updater:      newUnitPool(e.eng, e.cfg.ChannelUpdaters),
+				guider:       newUnitPool(e.eng, e.cfg.ChannelGuiders),
+				rng:          e.rootRNG.Derive(uint64(2000 + ch)),
+				level:        tierChannel,
+				updaterCycle: e.cfg.ChannelUpdaterCycle,
+				guiderCycle:  e.cfg.ChannelGuiderCycle,
+				queueCap:     e.cfg.ChannelWalkQueueBytes,
+				hotHits:      &e.res.HotHitsChannel,
+			},
+			id:      ch,
+			channel: e.ssd.Channel(ch),
+		}
+		ca.self = ca
+		e.chans = append(e.chans, ca)
+		e.tiers = append(e.tiers, ca)
+	}
+	b := &boardAccel{
+		tierCommon: tierCommon{
+			e:            e,
+			updater:      newUnitPool(e.eng, e.cfg.BoardUpdaters),
+			guider:       newUnitPool(e.eng, e.cfg.BoardGuiders),
+			rng:          e.rootRNG.Derive(3000),
+			level:        tierBoard,
+			updaterCycle: e.cfg.BoardUpdaterCycle,
+			guiderCycle:  e.cfg.BoardGuiderCycle,
+			queueCap:     e.cfg.BoardWalkQueueBytes,
+			hotHits:      &e.res.HotHitsBoard,
+		},
+	}
+	b.self = b
+	for i := 0; i < e.cfg.TablePorts; i++ {
+		b.ports = append(b.ports, sim.NewQueue(e.eng))
+	}
+	if e.cfg.Opts.WalkQuery {
+		for i := 0; i < e.cfg.NumQueryCaches; i++ {
+			b.caches = append(b.caches, newQueryCache(e.cfg.QueryCacheBytes, e.cfg.MappingEntryBytes))
+		}
+	}
+	e.board = b
+	e.tiers = append(e.tiers, b)
+	e.selectHotSubgraphs()
+}
+
+// selectHotSubgraphs picks the top in-degree non-dense blocks for the board
+// and for each channel (paper §III-C: channels keep the top-K among blocks
+// on their own chips).
+func (e *Engine) selectHotSubgraphs() {
+	if !e.cfg.Opts.HotSubgraphs {
+		return
+	}
+	sums := e.part.InDegreeSums()
+	pick := func(candidates []int, capBytes int64) []int {
+		budget := capBytes
+		// Selection sort of the top items by in-degree sum; candidate lists
+		// are small (blocks per channel).
+		chosen := []int{}
+		used := map[int]bool{}
+		for {
+			best, bestSum := -1, uint64(0)
+			for _, id := range candidates {
+				b := &e.part.Blocks[id]
+				if used[id] || b.Dense || b.Bytes > budget {
+					continue
+				}
+				if best == -1 || sums[id] > bestSum {
+					best, bestSum = id, sums[id]
+				}
+			}
+			if best == -1 {
+				break
+			}
+			used[best] = true
+			budget -= e.part.Blocks[best].Bytes
+			chosen = append(chosen, best)
+		}
+		return chosen
+	}
+	all := make([]int, e.part.NumBlocks())
+	for i := range all {
+		all[i] = i
+	}
+	e.board.SetHotBlocks(pick(all, e.cfg.BoardSubgraphBufBytes))
+	for ch, ca := range e.chans {
+		ca.SetHotBlocks(pick(e.place.BlocksOnChannel(ch), e.cfg.ChannelSubgraphBufBytes))
+	}
+}
+
+// preloadHotSubgraphs reads hot blocks into the channel and board buffers
+// at time zero, paying the flash and bus traffic.
+func (e *Engine) preloadHotSubgraphs() {
+	if !e.cfg.Opts.HotSubgraphs {
+		e.board.hotReady = true
+		for _, ca := range e.chans {
+			ca.hotReady = true
+		}
+		return
+	}
+	load := func(ids []int, ready *bool) {
+		if len(ids) == 0 {
+			*ready = true
+			return
+		}
+		left := len(ids)
+		for _, id := range ids {
+			pages := e.part.Pages(&e.part.Blocks[id], e.ssd.Cfg.PageBytes)
+			chip := e.ssd.Chip(e.place.ChipOf(id))
+			e.ssd.ReadPagesToChannel(chip, pages, func() {
+				left--
+				if left == 0 {
+					*ready = true
+				}
+			})
+		}
+	}
+	load(e.board.HotBlocks(), &e.board.hotReady)
+	for _, ca := range e.chans {
+		load(ca.HotBlocks(), &ca.hotReady)
+	}
+}

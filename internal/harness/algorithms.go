@@ -27,8 +27,9 @@ type AlgorithmRow struct {
 // ExtAlgorithms runs unbiased, biased (ITS), restart (PPR), and
 // second-order (node2vec) walks through FlashWalker on a weighted
 // Friendster-shaped graph and reports the relative cost of each sampling
-// scheme.
-func ExtAlgorithms(scale float64, seed uint64) ([]AlgorithmRow, error) {
+// scheme. The graph is generated once up front; the four algorithm runs
+// then sweep as independent grid points on workers goroutines.
+func ExtAlgorithms(scale float64, seed uint64, workers int) ([]AlgorithmRow, error) {
 	// A weighted FS-S-shaped graph (biased walks need weights; the
 	// unweighted kinds ignore them).
 	cfg := graph.RMATConfig{
@@ -52,23 +53,28 @@ func ExtAlgorithms(scale float64, seed uint64) ([]AlgorithmRow, error) {
 		{"restart (PPR)", walk.Spec{Kind: walk.Restart, Length: 64, StopProb: 1.0 / WalkLength}},
 		{"second-order (p=0.5,q=2)", walk.Spec{Kind: walk.SecondOrder, Length: WalkLength, P: 0.5, Q: 2}},
 	}
-	var rows []AlgorithmRow
-	for _, s := range specs {
+	rows := make([]AlgorithmRow, len(specs))
+	err = sweep(workers, len(specs), func(i int) error {
+		s := specs[i]
 		rc := FlashWalkerConfig(d, core.AllOptions(), walks, seed)
 		rc.Spec = s.spec
 		e, err := core.NewEngine(g, rc)
 		if err != nil {
-			return nil, fmt.Errorf("algorithms %s: %w", s.name, err)
+			return fmt.Errorf("algorithms %s: %w", s.name, err)
 		}
 		res, err := e.Run()
 		if err != nil {
-			return nil, fmt.Errorf("algorithms %s: %w", s.name, err)
+			return fmt.Errorf("algorithms %s: %w", s.name, err)
 		}
-		rows = append(rows, AlgorithmRow{
+		rows[i] = AlgorithmRow{
 			Name: s.name, Spec: s.spec, Walks: walks,
 			Time: res.Time, Hops: res.Hops,
 			HopRate: res.HopRate(), Probes: res.FilterProbes,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

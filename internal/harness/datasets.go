@@ -38,25 +38,41 @@ type Dataset struct {
 	Gen func() (*graph.Graph, error)
 }
 
+// cacheEntry guards one dataset's generated graph with its own sync.Once,
+// so concurrent sweep runners share each graph safely: the registry lock
+// only covers the map lookup, and generating one dataset never blocks
+// generation of another.
+type cacheEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
 var (
 	cacheMu sync.Mutex
-	cache   = map[string]*graph.Graph{}
+	cache   = map[string]*cacheEntry{}
 )
 
 // Graph returns the dataset's graph, generating it on first use and caching
-// it for the process lifetime.
+// it for the process lifetime. Safe for concurrent use; generation runs at
+// most once per dataset name, and different datasets generate in parallel.
 func (d Dataset) Graph() (*graph.Graph, error) {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if g, ok := cache[d.Name]; ok {
-		return g, nil
+	e, ok := cache[d.Name]
+	if !ok {
+		e = &cacheEntry{}
+		cache[d.Name] = e
 	}
-	g, err := d.Gen()
-	if err != nil {
-		return nil, fmt.Errorf("harness: generating %s: %w", d.Name, err)
-	}
-	cache[d.Name] = g
-	return g, nil
+	cacheMu.Unlock()
+	e.once.Do(func() {
+		g, err := d.Gen()
+		if err != nil {
+			e.err = fmt.Errorf("harness: generating %s: %w", d.Name, err)
+			return
+		}
+		e.g = g
+	})
+	return e.g, e.err
 }
 
 // Datasets returns the five scaled analogues of Table IV, in the paper's

@@ -21,19 +21,22 @@ type EnergyRow struct {
 }
 
 // ExtEnergy runs both engines on every dataset at the default walk counts
-// and converts their traffic counters into joule estimates.
-func ExtEnergy(scale float64, seed uint64) ([]EnergyRow, error) {
+// and converts their traffic counters into joule estimates. One dataset
+// per grid point, swept on workers goroutines.
+func ExtEnergy(scale float64, seed uint64, workers int) ([]EnergyRow, error) {
 	ec := core.DefaultEnergy()
-	var rows []EnergyRow
-	for _, d := range Datasets() {
+	ds := Datasets()
+	rows := make([]EnergyRow, len(ds))
+	err := sweep(workers, len(ds), func(i int) error {
+		d := ds[i]
 		walks := scaleWalks(d.DefaultWalks, scale)
 		fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gw, err := RunGraphWalker(d, GWMem8GB, walks, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fwE := core.FlashWalkerEnergy(ec, fw)
 		gwE := core.GraphWalkerEnergy(ec, core.GraphWalkerEnergyInput{
@@ -46,12 +49,16 @@ func ExtEnergy(scale float64, seed uint64) ([]EnergyRow, error) {
 			HostBytes:     gw.Flash.HostBytes,
 			HostDRAMBytes: gw.BlockBytes + gw.WalkSpillBytes + gw.WalkLoadBytes,
 		})
-		rows = append(rows, EnergyRow{
+		rows[i] = EnergyRow{
 			Dataset: d.Name, Walks: walks,
 			FWJ: fwE.Total(), GWJ: gwE.Total(),
 			Ratio:   gwE.Total() / fwE.Total(),
 			FWBreak: fwE, GWBreak: gwE,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -9,7 +9,7 @@ func TestExtEnergy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := ExtEnergy(testScale, 1)
+	rows, err := ExtEnergy(testScale, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestExtAlgorithms(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := ExtAlgorithms(testScale, 1)
+	rows, err := ExtAlgorithms(testScale, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,26 +45,33 @@ type Fig1Row struct {
 }
 
 // Fig1 reproduces Figure 1: GraphWalker's execution time on CW is
-// dominated by loading graph structure from the SSD.
-func Fig1(scale float64, seed uint64) ([]Fig1Row, error) {
+// dominated by loading graph structure from the SSD. Grid points run on
+// workers goroutines (Workers semantics).
+func Fig1(scale float64, seed uint64, workers int) ([]Fig1Row, error) {
 	d, err := DatasetByName("CW-S")
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig1Row
-	for _, walks := range walkSweep(d, scale) {
+	grid := walkSweep(d, scale)
+	rows := make([]Fig1Row, len(grid))
+	err = sweep(workers, len(grid), func(i int) error {
+		walks := grid[i]
 		res, err := RunGraphWalker(d, GWMem8GB, walks, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b := res.Breakdown
-		rows = append(rows, Fig1Row{
+		rows[i] = Fig1Row{
 			Walks:     walks,
 			Total:     res.Time,
 			LoadGraph: b.Fraction("load graph"),
 			Update:    b.Fraction("update walks"),
 			WalkIO:    b.Fraction("walk I/O"),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -97,25 +104,39 @@ type Fig5Row struct {
 }
 
 // Fig5 reproduces Figure 5: FlashWalker speedup over GraphWalker across
-// datasets and walk counts.
-func Fig5(scale float64, seed uint64) ([]Fig5Row, error) {
-	var rows []Fig5Row
+// datasets and walk counts. The (dataset, walks) grid is flattened in the
+// paper's order and swept on workers goroutines.
+func Fig5(scale float64, seed uint64, workers int) ([]Fig5Row, error) {
+	type point struct {
+		d     Dataset
+		walks int
+	}
+	var grid []point
 	for _, d := range Datasets() {
 		for _, walks := range walkSweep(d, scale) {
-			fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s/%d flashwalker: %w", d.Name, walks, err)
-			}
-			gw, err := RunGraphWalker(d, GWMem8GB, walks, seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s/%d graphwalker: %w", d.Name, walks, err)
-			}
-			rows = append(rows, Fig5Row{
-				Dataset: d.Name, Walks: walks,
-				FWTime: fw.Time, GWTime: gw.Time,
-				Speedup: float64(gw.Time) / float64(fw.Time),
-			})
+			grid = append(grid, point{d, walks})
 		}
+	}
+	rows := make([]Fig5Row, len(grid))
+	err := sweep(workers, len(grid), func(i int) error {
+		d, walks := grid[i].d, grid[i].walks
+		fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
+		if err != nil {
+			return fmt.Errorf("fig5 %s/%d flashwalker: %w", d.Name, walks, err)
+		}
+		gw, err := RunGraphWalker(d, GWMem8GB, walks, seed)
+		if err != nil {
+			return fmt.Errorf("fig5 %s/%d graphwalker: %w", d.Name, walks, err)
+		}
+		rows[i] = Fig5Row{
+			Dataset: d.Name, Walks: walks,
+			FWTime: fw.Time, GWTime: gw.Time,
+			Speedup: float64(gw.Time) / float64(fw.Time),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -169,22 +190,25 @@ type Fig6Row struct {
 	BandwidthGain    float64
 }
 
-// Fig6 reproduces Figure 6 at the paper's fixed walk counts.
-func Fig6(scale float64, seed uint64) ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, d := range Datasets() {
+// Fig6 reproduces Figure 6 at the paper's fixed walk counts, one dataset
+// per grid point.
+func Fig6(scale float64, seed uint64, workers int) ([]Fig6Row, error) {
+	ds := Datasets()
+	rows := make([]Fig6Row, len(ds))
+	err := sweep(workers, len(ds), func(i int) error {
+		d := ds[i]
 		walks := scaleWalks(d.DefaultWalks, scale)
 		fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gw, err := RunGraphWalker(d, GWMem8GB, walks, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fwBW := float64(fw.Flash.ReadBytes) / fw.Time.Seconds()
 		gwBW := float64(gw.Flash.ReadBytes) / gw.Time.Seconds()
-		rows = append(rows, Fig6Row{
+		rows[i] = Fig6Row{
 			Dataset: d.Name, Walks: walks,
 			FWReadBytes:      fw.Flash.ReadBytes,
 			GWReadBytes:      gw.Flash.ReadBytes,
@@ -192,7 +216,11 @@ func Fig6(scale float64, seed uint64) ([]Fig6Row, error) {
 			FWBandwidth:      fwBW,
 			GWBandwidth:      gwBW,
 			BandwidthGain:    fwBW / gwBW,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -225,30 +253,38 @@ type Fig7Row struct {
 
 // Fig7 reproduces Figure 7: FlashWalker speedup versus GraphWalker with
 // 4/8/16 GB (scaled) host memory; the FlashWalker configuration is fixed.
-func Fig7(scale float64, seed uint64) ([]Fig7Row, error) {
+// Each grid point is one dataset (the fixed FlashWalker run is shared by
+// its three memory points), so rows land at i*3+j.
+func Fig7(scale float64, seed uint64, workers int) ([]Fig7Row, error) {
 	mems := []struct {
 		label string
 		bytes int64
 	}{
 		{"4GB", GWMem4GB}, {"8GB", GWMem8GB}, {"16GB", GWMem16GB},
 	}
-	var rows []Fig7Row
-	for _, d := range Datasets() {
+	ds := Datasets()
+	rows := make([]Fig7Row, len(ds)*len(mems))
+	err := sweep(workers, len(ds), func(i int) error {
+		d := ds[i]
 		walks := scaleWalks(d.DefaultWalks, scale)
 		fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, m := range mems {
+		for j, m := range mems {
 			gw, err := RunGraphWalker(d, m.bytes, walks, seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rows = append(rows, Fig7Row{
+			rows[i*len(mems)+j] = Fig7Row{
 				Dataset: d.Name, MemLabel: m.label, MemBytes: m.bytes,
 				Speedup: float64(gw.Time) / float64(fw.Time),
-			})
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -280,7 +316,9 @@ type Fig8Series struct {
 }
 
 // Fig8 reproduces Figure 8: per-interval flash read/write bandwidth,
-// channel bandwidth, and walk-completion progression.
+// channel bandwidth, and walk-completion progression. It takes no worker
+// count: its second run derives the bin width from the first run's
+// measured time, so the two runs are inherently sequential.
 func Fig8(datasetName string, scale float64, seed uint64) (*Fig8Series, error) {
 	d, err := DatasetByName(datasetName)
 	if err != nil {
@@ -358,31 +396,42 @@ type Fig9Row struct {
 }
 
 // Fig9 reproduces Figure 9: optimizations enabled incrementally, each
-// applied on top of the previous ones (§IV-E; SS runs with α=0.4).
-func Fig9(scale float64, seed uint64) ([]Fig9Row, error) {
+// applied on top of the previous ones (§IV-E; SS runs with α=0.4). The
+// (dataset, option-set) grid is fully flattened — all 4 ablation runs of a
+// dataset are independent simulations, so they sweep as separate points
+// and the rows are assembled afterwards.
+func Fig9(scale float64, seed uint64, workers int) ([]Fig9Row, error) {
 	sets := []core.Options{
 		{},
 		{WalkQuery: true},
 		{WalkQuery: true, HotSubgraphs: true},
 		{WalkQuery: true, HotSubgraphs: true, SmartSchedule: true},
 	}
-	var rows []Fig9Row
-	for _, d := range Datasets() {
+	ds := Datasets()
+	times := make([]sim.Time, len(ds)*len(sets))
+	err := sweep(workers, len(times), func(i int) error {
+		d := ds[i/len(sets)]
+		set := i % len(sets)
 		walks := scaleWalks(d.DefaultWalks/2, scale)
-		var times [4]sim.Time
-		for i, o := range sets {
-			res, err := RunFlashWalker(d, o, walks, seed, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s set %d: %w", d.Name, i, err)
-			}
-			times[i] = res.Time
+		res, err := RunFlashWalker(d, sets[set], walks, seed, 0)
+		if err != nil {
+			return fmt.Errorf("fig9 %s set %d: %w", d.Name, set, err)
 		}
-		rows = append(rows, Fig9Row{
-			Dataset: d.Name, Walks: walks, BaseTime: times[0],
-			WQ:     float64(times[0]) / float64(times[1]),
-			WQHS:   float64(times[0]) / float64(times[2]),
-			WQHSSS: float64(times[0]) / float64(times[3]),
-		})
+		times[i] = res.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9Row, len(ds))
+	for i, d := range ds {
+		t := times[i*len(sets) : (i+1)*len(sets)]
+		rows[i] = Fig9Row{
+			Dataset: d.Name, Walks: scaleWalks(d.DefaultWalks/2, scale), BaseTime: t[0],
+			WQ:     float64(t[0]) / float64(t[1]),
+			WQHS:   float64(t[0]) / float64(t[2]),
+			WQHSSS: float64(t[0]) / float64(t[3]),
+		}
 	}
 	return rows, nil
 }

@@ -171,7 +171,7 @@ func TestRunBothEnginesTiny(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	rows, err := Fig1(testScale, 1)
+	rows, err := Fig1(testScale, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestFig5TinyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := Fig5(testScale, 1)
+	rows, err := Fig5(testScale, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestFig6Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := Fig6(testScale, 1)
+	rows, err := Fig6(testScale, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestFig7Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := Fig7(testScale, 1)
+	rows, err := Fig7(testScale, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestFig9Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := Fig9(testScale, 1)
+	rows, err := Fig9(testScale, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Every figure of the evaluation is a grid of independent, seed-
+// deterministic simulations (dataset × walk count × configuration). The
+// sweep runner below fans those grid points out over a worker pool:
+// each point derives its RNG roots from the same (seed, point) inputs as
+// the serial loop and writes its result into a slot indexed by grid
+// position, so the assembled tables are byte-identical to a serial run
+// regardless of worker count or completion order.
+
+// Workers resolves a -parallel style worker-count request: n <= 0 means
+// one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// sweep runs fn(i) for every grid point i in [0, n) on a pool of workers
+// goroutines (resolved via Workers). fn must write its result into a
+// pre-sized slot for index i and must not touch other indices. All points
+// run even if one fails; the error for the lowest grid index wins, so the
+// reported failure is deterministic too.
+func sweep(workers, n int, fn func(i int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d", got)
+	}
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+}
+
+func TestSweepCoversEveryPoint(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 50
+		out := make([]int, n)
+		var calls int64
+		err := sweep(workers, n, func(i int) error {
+			atomic.AddInt64(&calls, 1)
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls != n {
+			t.Fatalf("workers=%d: %d calls, want %d", workers, calls, n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestSweepDeterministicError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	// Whatever order the workers hit the failing points in, the error for
+	// the lowest grid index must win.
+	for trial := 0; trial < 10; trial++ {
+		err := sweep(4, 20, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 17:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("trial %d: got %v, want %v", trial, err, errLow)
+		}
+	}
+}
+
+func TestSweepZeroPoints(t *testing.T) {
+	if err := sweep(8, 0, func(i int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigParallelMatchesSerial is the bit-identity contract behind
+// -parallel: the same figure at worker counts 1 and 4 must produce
+// deeply equal rows, because every grid point derives its randomness from
+// (seed, point) alone.
+func TestFigParallelMatchesSerial(t *testing.T) {
+	serial, err := Fig1(testScale, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig1(testScale, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("Fig1 diverges across worker counts:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
