@@ -1,0 +1,208 @@
+// Command benchdiff maintains the repo's benchmark baselines (BENCH_*.json)
+// and reports perf movement between a committed baseline and a fresh run.
+//
+// Subcommands:
+//
+//	parse             read `go test -bench` output on stdin, print the
+//	                  benchmark section as JSON (paste into a BENCH file)
+//	diff <file>       print baseline-vs-after ratios for a BENCH file whose
+//	                  "baseline" and "after" sections are both filled
+//	fmtbench <file> <section>
+//	                  re-emit a section in standard benchmark text format,
+//	                  suitable for benchstat against a fresh run
+//
+// diff never fails the build: the comparison is informational (CI posts it
+// next to the uploaded run artifact; regressions are judged by a human).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's figures; metrics holds the custom
+// b.ReportMetric units (sim-Mhops/s, speedup-avg, ...).
+type benchResult struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// benchFile mirrors BENCH_*.json.
+type benchFile struct {
+	Comment   string                 `json:"comment"`
+	Baseline  map[string]benchResult `json:"baseline"`
+	After     map[string]benchResult `json:"after"`
+	Unmatched map[string]any         `json:"-"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		results := parseBench(os.Stdin)
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	case "diff":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		diff(os.Args[2])
+	case "fmtbench":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		fmtbench(os.Args[2], os.Args[3])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse | diff <file> | fmtbench <file> <section>")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output. A line
+// looks like:
+//
+//	BenchmarkFoo-8   2   64603502 ns/op   38.45 sim-Mhops/s   7468328 B/op   9452 allocs/op
+func parseBench(f *os.File) map[string]benchResult {
+	results := map[string]benchResult{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so names are machine-independent.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := benchResult{Metrics: map[string]float64{}}
+		// fields[1] is the iteration count; the rest are (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				r.Metrics[unit] = val
+			}
+		}
+		results[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	return results
+}
+
+func loadFile(path string) benchFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		fatal(err)
+	}
+	return bf
+}
+
+// diff prints per-benchmark before/after ratios. Speedups > 1 mean the
+// "after" side is faster / lighter.
+func diff(path string) {
+	bf := loadFile(path)
+	names := make([]string, 0, len(bf.Baseline))
+	for name := range bf.Baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-28s %14s %14s %9s %14s\n", "benchmark", "base", "after", "ratio", "allocs base->after")
+	for _, name := range names {
+		base := bf.Baseline[name]
+		after, ok := bf.After[name]
+		if !ok {
+			fmt.Printf("%-28s %14.0f %14s\n", name, base.NsPerOp, "(missing)")
+			continue
+		}
+		ratio := 0.0
+		if after.NsPerOp > 0 {
+			ratio = base.NsPerOp / after.NsPerOp
+		}
+		allocRatio := ""
+		if after.AllocsPerOp > 0 {
+			allocRatio = fmt.Sprintf("%.0f -> %.0f (%.1fx)",
+				base.AllocsPerOp, after.AllocsPerOp, base.AllocsPerOp/after.AllocsPerOp)
+		}
+		fmt.Printf("%-28s %12.1fms %12.1fms %8.2fx %s\n",
+			name, base.NsPerOp/1e6, after.NsPerOp/1e6, ratio, allocRatio)
+	}
+}
+
+// fmtbench re-emits a stored section as standard benchmark lines so
+// benchstat can compare it against a fresh run.
+func fmtbench(path, section string) {
+	bf := loadFile(path)
+	var m map[string]benchResult
+	switch section {
+	case "baseline":
+		m = bf.Baseline
+	case "after":
+		m = bf.After
+	default:
+		fatal(fmt.Errorf("unknown section %q (want baseline or after)", section))
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := m[name]
+		line := fmt.Sprintf("%s 1 %.0f ns/op", name, r.NsPerOp)
+		if r.BytesPerOp > 0 {
+			line += fmt.Sprintf(" %.0f B/op", r.BytesPerOp)
+		}
+		if r.AllocsPerOp > 0 {
+			line += fmt.Sprintf(" %.0f allocs/op", r.AllocsPerOp)
+		}
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			line += fmt.Sprintf(" %g %s", r.Metrics[u], u)
+		}
+		fmt.Println(line)
+	}
+}

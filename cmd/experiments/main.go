@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"flashwalker/internal/harness"
@@ -35,7 +37,20 @@ func main() {
 	dataset := flag.String("dataset", "CW-S", "dataset for figure 8")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files to this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+	}
+	memProfilePath = *memprofile
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -81,6 +96,30 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.FormatExtAlgorithms(rows))
+	}
+	stopProfiles()
+}
+
+// memProfilePath, when non-empty, is where the allocation profile is
+// written on exit.
+var memProfilePath string
+
+// stopProfiles flushes any requested profiles; it runs on both the normal
+// and the error exit path so partial runs still yield usable profiles.
+func stopProfiles() {
+	pprof.StopCPUProfile()
+	if memProfilePath == "" {
+		return
+	}
+	f, err := os.Create(memProfilePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle live heap so the profile reflects retained memory
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}
 }
 
@@ -193,5 +232,6 @@ func runFig(f string, scale float64, seed uint64, dataset string, parallel int) 
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	stopProfiles()
 	os.Exit(1)
 }

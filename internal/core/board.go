@@ -28,20 +28,14 @@ type boardAccel struct {
 
 // Guide runs a walk through the board-level walk guider: classify first
 // (route.go), then charge the guider ops and any mapping-table port time,
-// then apply the decision.
+// then apply the decision (evBoardGuided / evBoardPortDone continuations).
 func (b *boardAccel) Guide(st wstate) {
 	d := b.classify(st)
-	b.dispatchGuide(d.ops, func() {
-		if d.searchSteps > 0 {
-			port := b.ports[b.portRR]
-			b.portRR = (b.portRR + 1) % len(b.ports)
-			port.Acquire(simTime(d.searchSteps)*b.guiderCycle, func() {
-				b.route(d)
-			})
-			return
-		}
-		b.route(d)
-	})
+	e := b.e
+	ref, n := e.newNode()
+	n.st = d.st
+	n.block, n.foreign, n.steps = int32(d.blockID), int32(d.foreignPart), int32(d.searchSteps)
+	b.dispatchGuideEvent(d.ops, sim.Event{Target: e, Kind: evBoardGuided, A: ref})
 }
 
 // route applies a classification.

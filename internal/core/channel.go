@@ -2,6 +2,7 @@ package core
 
 import (
 	fl "flashwalker/internal/flash"
+	"flashwalker/internal/sim"
 	"flashwalker/internal/trace"
 )
 
@@ -20,14 +21,13 @@ func (ca *channelAccel) scheduleTick() {
 	if ca.e.finished {
 		return
 	}
-	ca.e.eng.After(ca.e.cfg.RovingFetchInterval, func() {
-		ca.tick()
-		ca.scheduleTick()
-	})
+	ca.e.eng.ScheduleAfter(ca.e.cfg.RovingFetchInterval,
+		sim.Event{Target: ca.e, Kind: evChanTick, B: int32(ca.id)})
 }
 
 // tick collects roving walks from every chip on the channel; each chip's
-// batch crosses the channel bus as one transfer.
+// batch crosses the channel bus as one transfer (parked in a pooled batch
+// record until the evChanBatch completion).
 func (ca *channelAccel) tick() {
 	e := ca.e
 	first := ca.id * e.ssd.Cfg.ChipsPerChannel
@@ -40,12 +40,9 @@ func (ca *channelAccel) tick() {
 		e.res.RovingTransfers++
 		e.res.RovingWalks += uint64(len(walks))
 		e.emit(trace.RovingBatch, int64(chip.id), int64(len(walks)))
-		batch := walks
-		e.ssd.TransferChannel(ca.channel, bytes, func() {
-			for i := range batch {
-				ca.Guide(batch[i])
-			}
-		})
+		bref := e.newBatch(walks)
+		e.ssd.TransferChannelE(ca.channel, bytes,
+			sim.Event{Target: e, Kind: evChanBatch, A: bref, B: int32(ca.id)})
 	}
 }
 
@@ -79,15 +76,23 @@ func (ca *channelAccel) Guide(st wstate) {
 			}
 		}
 	}
-	ca.dispatchGuide(ops, func() {
-		if hotBlock >= 0 && ca.tryHotUpdate(st) {
-			return
-		}
-		if foreignPart >= 0 {
-			e.demoteWalk(foreignPart, st)
-			return
-		}
-		st.rangeTag = rangeID
-		e.board.Guide(st)
-	})
+	ref, n := e.newNode()
+	n.st = st
+	n.hot, n.foreign, n.rangeID = int32(hotBlock), int32(foreignPart), int32(rangeID)
+	ca.dispatchGuideEvent(ops,
+		sim.Event{Target: e, Kind: evChanGuided, A: ref, B: int32(ca.id)})
+}
+
+// applyGuide is the evChanGuided continuation.
+func (ca *channelAccel) applyGuide(st wstate, hotBlock, foreignPart, rangeID int32) {
+	e := ca.e
+	if hotBlock >= 0 && ca.tryHotUpdate(st) {
+		return
+	}
+	if foreignPart >= 0 {
+		e.demoteWalk(int(foreignPart), st)
+		return
+	}
+	st.rangeTag = int(rangeID)
+	e.board.Guide(st)
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"math/bits"
+
+	"flashwalker/internal/sim"
 	"flashwalker/internal/trace"
 	"flashwalker/internal/walk"
 
@@ -10,11 +13,16 @@ import (
 // chipSlot is one subgraph buffer entry of a chip-level accelerator plus
 // its associated walk queue (§III-B).
 type chipSlot struct {
+	idx     int  // position in the chip's slot array (event payload)
 	block   int  // resident block ID, -1 when the buffer entry is empty
 	loading bool // a load command is in flight
 	idle    bool // no walks owned and nothing scheduled; block stays resident
 	defers  int  // consecutive load postponements to let walks accumulate
 	pending int  // walks owned by the slot (queued + in update)
+
+	// In-flight load state: gating parts left and the claimed walks.
+	loadLeft  int
+	loadWalks []wstate
 }
 
 // maxLoadDefers bounds consecutive deferrals so progress is guaranteed.
@@ -39,23 +47,61 @@ type chipAccel struct {
 
 	completedBytes int64
 
-	// myBlocks caches this chip's block IDs in the current partition.
+	// myBlocks caches this chip's block IDs in the current partition;
+	// workBits marks the myBlocks positions whose stores (pwb + fls)
+	// currently hold walks. The bitmap is the scheduler's top-N work index:
+	// insertions and claims maintain it in O(1), so scheduleSlot scans only
+	// blocks that actually have work instead of every candidate.
 	myBlocks []int
+	workBits []uint64
 }
 
 // refreshBlocks recomputes the candidate blocks for the current partition
 // and resets slot residency (the previous partition's subgraphs are stale).
 func (c *chipAccel) refreshBlocks() {
+	e := c.e
+	for _, b := range c.myBlocks {
+		e.blockPos[b] = -1
+	}
 	c.myBlocks = c.myBlocks[:0]
-	for _, b := range c.e.place.BlocksOnChip(c.id) {
-		if c.e.inCurrentPartition(b) {
+	for _, b := range e.place.BlocksOnChip(c.id) {
+		if e.inCurrentPartition(b) {
+			e.blockPos[b] = int32(len(c.myBlocks))
 			c.myBlocks = append(c.myBlocks, b)
+		}
+	}
+	words := (len(c.myBlocks) + 63) / 64
+	if cap(c.workBits) < words {
+		c.workBits = make([]uint64, words)
+	}
+	c.workBits = c.workBits[:words]
+	for i := range c.workBits {
+		c.workBits[i] = 0
+	}
+	for pos, b := range c.myBlocks {
+		if len(e.pwb[b])+len(e.fls[b]) > 0 {
+			c.workBits[pos>>6] |= 1 << (uint(pos) & 63)
 		}
 	}
 	for _, s := range c.slots {
 		s.block = -1
 		s.loading = false
 		s.idle = true
+	}
+}
+
+// noteWork re-derives block b's work-index bit from its store lengths
+// (b must be one of this chip's current-partition blocks).
+func (c *chipAccel) noteWork(b int) {
+	pos := c.e.blockPos[b]
+	if pos < 0 {
+		return
+	}
+	bit := uint64(1) << (uint(pos) & 63)
+	if len(c.e.pwb[b])+len(c.e.fls[b]) > 0 {
+		c.workBits[pos>>6] |= bit
+	} else {
+		c.workBits[pos>>6] &^= bit
 	}
 }
 
@@ -93,29 +139,34 @@ func (c *chipAccel) scheduleSlot(s *chipSlot) {
 	if c.e.finished {
 		return
 	}
+	// Walk the work index: set bits correspond exactly to the non-empty
+	// blocks the previous full scan would have visited, in myBlocks order.
 	best, bestScore := -1, 0.0
 	scanned := 0
-	for _, b := range c.myBlocks {
-		if len(c.e.pwb[b])+len(c.e.fls[b]) == 0 {
-			continue
-		}
-		if other := c.blockLoaded(b); other != nil && other != s {
-			continue
-		}
-		scanned++
-		sc := c.e.score[b]
-		if sc <= 0 {
-			// Cached score may be stale (batched updates); fall back to
-			// the live walk count so a block never starves.
-			sc = float64(len(c.e.pwb[b]) + len(c.e.fls[b]))
-		}
-		if best == -1 || sc > bestScore {
-			best, bestScore = b, sc
-		}
-		if scanned >= c.e.cfg.TopN && best != -1 {
-			// The hardware only maintains a top-N list per chip; bounding
-			// the scan models that.
-			break
+scan:
+	for wi, word := range c.workBits {
+		for word != 0 {
+			pos := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			b := c.myBlocks[pos]
+			if other := c.blockLoaded(b); other != nil && other != s {
+				continue
+			}
+			scanned++
+			sc := c.e.score[b]
+			if sc <= 0 {
+				// Cached score may be stale (batched updates); fall back to
+				// the live walk count so a block never starves.
+				sc = float64(len(c.e.pwb[b]) + len(c.e.fls[b]))
+			}
+			if best == -1 || sc > bestScore {
+				best, bestScore = b, sc
+			}
+			if scanned >= c.e.cfg.TopN && best != -1 {
+				// The hardware only maintains a top-N list per chip; bounding
+				// the scan models that.
+				break scan
+			}
 		}
 	}
 	if best == -1 {
@@ -134,11 +185,8 @@ func (c *chipAccel) scheduleSlot(s *chipSlot) {
 		// wait so progress is guaranteed.
 		s.defers++
 		s.idle = false
-		c.e.eng.After(c.e.cfg.LoadIdleDelay, func() {
-			if s.defers > 0 && !s.loading && s.pending == 0 {
-				c.scheduleSlot(s)
-			}
-		})
+		c.e.eng.ScheduleAfter(c.e.cfg.LoadIdleDelay,
+			sim.Event{Target: c.e, Kind: evSlotRetry, B: int32(c.id), C: int64(s.idx)})
 		return
 	}
 	s.defers = 0
@@ -158,44 +206,52 @@ func (c *chipAccel) loadBlock(s *chipSlot, blockID int) {
 		e.res.SubgraphReloads++
 	}
 
-	// Claim walks now so concurrent scheduling doesn't double-take.
+	// Claim walks now so concurrent scheduling doesn't double-take. The
+	// claims copy into a pooled buffer and compact the source stores in
+	// place (front-reslicing would leak capacity and — with a shared
+	// backing array — let the flash/PWB claims alias each other).
 	take := e.slotCapWalks
-	fromPWB := e.pwb[blockID]
-	if len(fromPWB) > take {
-		fromPWB = fromPWB[:take]
+	pw := e.pwb[blockID]
+	nPWB := len(pw)
+	if nPWB > take {
+		nPWB = take
 	}
-	e.pwb[blockID] = e.pwb[blockID][len(fromPWB):]
 	var pwbBytes int64
-	for i := range fromPWB {
-		pwbBytes += fromPWB[i].sizeBytes()
+	for i := 0; i < nPWB; i++ {
+		pwbBytes += pw[i].sizeBytes()
 	}
 	e.pwbBytes[blockID] -= pwbBytes
 	if e.pwbBytes[blockID] < 0 {
 		e.pwbBytes[blockID] = 0
 	}
-	take -= len(fromPWB)
+	take -= nPWB
 
-	fromFlash := e.fls[blockID]
-	if len(fromFlash) > take {
-		fromFlash = fromFlash[:take]
+	fs := e.fls[blockID]
+	nFlash := len(fs)
+	if nFlash > take {
+		nFlash = take
 	}
-	e.fls[blockID] = e.fls[blockID][len(fromFlash):]
 	flashPages := 0
-	if len(fromFlash) > 0 {
-		if len(e.fls[blockID]) == 0 {
+	if nFlash > 0 {
+		if nFlash == len(fs) {
 			flashPages = e.flsPages[blockID]
 			e.flsPages[blockID] = 0
 		} else {
-			flashPages = (len(fromFlash) + e.walksPerPage - 1) / e.walksPerPage
+			flashPages = (nFlash + e.walksPerPage - 1) / e.walksPerPage
 			e.flsPages[blockID] -= flashPages
 			if e.flsPages[blockID] < 0 {
 				e.flsPages[blockID] = 0
 			}
 		}
 	}
-	e.refreshScore(blockID)
 
-	walks := append(fromFlash, fromPWB...)
+	walks := e.getWalkBuf()
+	walks = append(walks, fs[:nFlash]...)
+	walks = append(walks, pw[:nPWB]...)
+	e.pwb[blockID] = compactFront(pw, nPWB)
+	e.fls[blockID] = compactFront(fs, nFlash)
+	c.noteWork(blockID)
+	e.refreshScore(blockID)
 	e.emit(trace.SubgraphLoad, int64(blockID), int64(len(walks)))
 
 	// Three concurrent activities gate activation: the subgraph page
@@ -205,43 +261,62 @@ func (c *chipAccel) loadBlock(s *chipSlot, blockID int) {
 	if !resident {
 		parts++
 	}
-	if len(fromPWB) > 0 {
+	if nPWB > 0 {
 		parts++
 	}
 	if flashPages > 0 {
 		parts++
 	}
-	left := parts
-	oneDone := func() {
-		left--
-		if left > 0 {
-			return
-		}
-		s.loading = false
-		if len(walks) == 0 {
-			// Raced: walks were claimed but another path drained them (not
-			// expected, but keep the slot live).
-			c.slotDrained(s)
-			return
-		}
-		for i := range walks {
-			c.enqueue(s, walks[i])
-		}
-	}
+	s.loadLeft = parts
+	s.loadWalks = walks
+	partDone := sim.Event{Target: e, Kind: evLoadPart, B: int32(c.id), C: int64(s.idx)}
 
 	// Load command crosses the channel bus (extended ONFI command, §III-C).
-	e.ssd.TransferChannel(c.chip.Channel, e.cfg.CommandBytes, oneDone)
+	e.ssd.TransferChannelE(c.chip.Channel, e.cfg.CommandBytes, partDone)
 	if !resident {
 		pages := e.part.Pages(&e.part.Blocks[blockID], e.ssd.Cfg.PageBytes)
-		e.ssd.ReadPagesLocal(c.chip, pages, oneDone)
+		e.ssd.ReadPagesLocalE(c.chip, pages, partDone)
 	}
-	if len(fromPWB) > 0 {
+	if nPWB > 0 {
 		e.dr.Read(pwbBytes, nil)
-		e.ssd.TransferChannel(c.chip.Channel, pwbBytes, oneDone)
+		e.ssd.TransferChannelE(c.chip.Channel, pwbBytes, partDone)
 	}
 	if flashPages > 0 {
-		e.ssd.ReadPagesLocal(c.chip, flashPages, oneDone)
+		e.ssd.ReadPagesLocalE(c.chip, flashPages, partDone)
 	}
+}
+
+// compactFront removes the first n elements of s in place, keeping the
+// backing capacity for reuse.
+func compactFront(s []wstate, n int) []wstate {
+	if n == 0 {
+		return s
+	}
+	m := copy(s, s[n:])
+	return s[:m]
+}
+
+// loadPartDone retires one gating part of a slot load; the last part
+// activates the subgraph and enqueues the claimed walks.
+func (c *chipAccel) loadPartDone(s *chipSlot) {
+	s.loadLeft--
+	if s.loadLeft > 0 {
+		return
+	}
+	s.loading = false
+	walks := s.loadWalks
+	s.loadWalks = nil
+	if len(walks) == 0 {
+		// Raced: walks were claimed but another path drained them (not
+		// expected, but keep the slot live).
+		c.slotDrained(s)
+		c.e.putWalkBuf(walks)
+		return
+	}
+	for i := range walks {
+		c.enqueue(s, walks[i])
+	}
+	c.e.putWalkBuf(walks)
 }
 
 // EnqueueUpdate runs a walk through this chip's updater: into the slot
@@ -262,20 +337,21 @@ func (c *chipAccel) enqueue(s *chipSlot, st wstate) {
 	s.idle = false
 	h := c.e.decideHop(c.rng, st)
 	c.e.chargeFilterProbes(h, c)
-	c.updater.dispatch(c.e.updateService(c.updaterCycle, h), func() {
-		c.finishUpdate(s, h)
-	})
+	ref, n := c.e.newNode()
+	n.st, n.terminal, n.deadEnd = h.next, h.terminal, h.deadEnd
+	c.updater.dispatchEvent(c.e.updateService(c.updaterCycle, h),
+		sim.Event{Target: c.e, Kind: evChipUpdateDone, A: ref, B: int32(c.id), C: int64(s.idx)})
 }
 
 // finishUpdate applies a hop's outcome (§III-B steps 2-7).
-func (c *chipAccel) finishUpdate(s *chipSlot, h hopOutcome) {
+func (c *chipAccel) finishUpdate(s *chipSlot, st wstate, terminal, deadEnd bool) {
 	e := c.e
 	s.pending--
 	e.res.ChipUpdates++
-	if !h.deadEnd {
+	if !deadEnd {
 		e.res.Hops++
 	}
-	if h.terminal {
+	if terminal {
 		c.completedBytes += walk.StateBytes
 		if c.completedBytes >= e.cfg.ChipCompletedBufBytes {
 			pages := int((c.completedBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
@@ -283,11 +359,11 @@ func (c *chipAccel) finishUpdate(s *chipSlot, h hopOutcome) {
 			c.completedBytes = 0
 			e.res.CompletedFlushes++
 		}
-		e.finishWalk(!h.deadEnd)
+		e.finishWalk(!deadEnd)
 		c.checkDrained(s)
 		return
 	}
-	c.Guide(h.next)
+	c.Guide(st)
 	c.checkDrained(s)
 }
 
@@ -308,9 +384,10 @@ func (c *chipAccel) slotDrained(s *chipSlot) {
 // into the roving buffer for the channel-level accelerator (§III-B).
 func (c *chipAccel) Guide(st wstate) {
 	// One compare per loaded subgraph plus the move.
-	c.dispatchGuide(1+len(c.slots), func() {
-		c.route(st)
-	})
+	ref, n := c.e.newNode()
+	n.st = st
+	c.dispatchGuideEvent(1+len(c.slots),
+		sim.Event{Target: c.e, Kind: evChipRoute, A: ref, B: int32(c.id)})
 }
 
 func (c *chipAccel) route(st wstate) {
@@ -329,12 +406,16 @@ func (c *chipAccel) addRoving(st wstate) {
 		// Roving buffer full: the guider stalls until the channel-level
 		// accelerator's next fetch drains it.
 		e.res.GuiderStalls++
-		c.guider.dispatch(e.cfg.RovingFetchInterval, func() {
-			c.route(st)
-		})
+		ref, n := e.newNode()
+		n.st = st
+		c.guider.dispatchEvent(e.cfg.RovingFetchInterval,
+			sim.Event{Target: e, Kind: evChipRoute, A: ref, B: int32(c.id)})
 		return
 	}
 	c.rovingBytes += st.sizeBytes()
+	if c.roving == nil {
+		c.roving = e.getWalkBuf()
+	}
 	c.roving = append(c.roving, st)
 }
 

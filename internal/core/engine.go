@@ -118,6 +118,10 @@ type Engine struct {
 	flsPages  []int
 	score     []float64 // cached Eq. 1 score per block
 	scorePend []int     // inserts since last score refresh
+	// blockPos is each block's position in its chip's current myBlocks
+	// list (-1 outside the active partition); it backs the per-chip
+	// scheduler work bitmaps (chipAccel.workBits).
+	blockPos []int32
 
 	// Walks awaiting a future partition. pendingMem walks live in board
 	// DRAM/host; pendingFlash walks were flushed and must be read back.
@@ -137,6 +141,18 @@ type Engine struct {
 	// alias holds per-vertex alias tables when UseAliasSampling is set on
 	// a biased run (nil otherwise).
 	alias *walk.GraphAlias
+
+	// Typed-event pools (events.go): walk nodes crossing event boundaries,
+	// in-flight roving batches, and recycled walk batch buffers.
+	nodes     []wnode
+	freeNode  int32
+	batches   []walkBatch
+	freeBatch int32
+	wbufs     [][]wstate
+
+	// Flushed-foreigner read-back in flight during a partition switch.
+	switchLeft  int
+	switchWalks []wstate
 
 	curPart   int
 	activeCur int // walks of the current partition inside the system
@@ -211,12 +227,15 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 		flsPages:  make([]int, part.NumBlocks()),
 		score:     make([]float64, part.NumBlocks()),
 		scorePend: make([]int, part.NumBlocks()),
+		blockPos:  make([]int32, part.NumBlocks()),
 
 		pendingMem:        make([][]wstate, part.NumPartitions),
 		pendingFlash:      make([][]wstate, part.NumPartitions),
 		pendingFlashBytes: make([]int64, part.NumPartitions),
 		flushMark:         make([]int, part.NumPartitions),
 
+		freeNode:   -1,
+		freeBatch:  -1,
 		curPart:    -1,
 		maxSimTime: rc.MaxSimTime,
 		tracer:     rc.Tracer,
@@ -224,6 +243,9 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 		rootRNG:    rng.New(rc.Cfg.Seed),
 	}
 
+	for i := range e.blockPos {
+		e.blockPos[i] = -1
+	}
 	e.slotsPerChip = int(rc.Cfg.ChipSubgraphBufBytes / rc.PartCfg.BlockBytes)
 	if e.slotsPerChip < 1 {
 		e.slotsPerChip = 1

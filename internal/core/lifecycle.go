@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flashwalker/internal/graph"
+	"flashwalker/internal/sim"
 	"flashwalker/internal/trace"
 	"flashwalker/internal/walk"
 )
@@ -130,26 +131,21 @@ func (e *Engine) startPartition(p int) {
 
 	e.activeCur = len(mem) + len(fl)
 
-	dispatch := func(ws []wstate) {
-		for i := range ws {
-			e.board.Guide(ws[i])
-		}
+	for i := range mem {
+		e.board.Guide(mem[i])
 	}
-	dispatch(mem)
+	e.putWalkBuf(mem)
 	if len(fl) > 0 {
 		// Read the flushed foreigner pages back (striped over chips, the
-		// same way they were written).
+		// same way they were written). The last page's evSwitchPage
+		// completion dispatches the batch.
 		pages := int((flBytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
-		left := pages
+		e.switchLeft = pages
+		e.switchWalks = fl
 		for i := 0; i < pages; i++ {
 			chip := e.ssd.Chip(e.flushChipRR)
 			e.flushChipRR = (e.flushChipRR + 1) % e.ssd.NumChips()
-			e.ssd.ReadPagesToChannel(chip, 1, func() {
-				left--
-				if left == 0 {
-					dispatch(fl)
-				}
-			})
+			e.ssd.ReadPagesToChannelE(chip, 1, sim.Event{Target: e, Kind: evSwitchPage})
 		}
 	}
 	if e.activeCur == 0 {

@@ -19,6 +19,9 @@ import (
 // to flash (§III-C/D).
 func (e *Engine) demoteWalk(p int, st wstate) {
 	st.clearTags()
+	if e.pendingMem[p] == nil {
+		e.pendingMem[p] = e.getWalkBuf()
+	}
 	e.pendingMem[p] = append(e.pendingMem[p], st)
 	e.foreignerBufBytes += walk.StateBytes
 	e.res.ForeignerWalks++

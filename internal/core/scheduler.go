@@ -45,16 +45,18 @@ func (e *Engine) insertPWB(b int, st wstate) {
 		e.refreshScore(b)
 	}
 	// A chip with an idle slot may now have work.
-	e.chips[e.place.ChipOf(b)].trySchedule()
+	c := e.chips[e.place.ChipOf(b)]
+	c.noteWork(b)
+	c.trySchedule()
 }
 
 // overflowPWB flushes block b's walk buffer entry to flash.
 func (e *Engine) overflowPWB(b int) {
 	walks := e.pwb[b]
 	bytes := e.pwbBytes[b]
-	e.pwb[b] = nil
 	e.pwbBytes[b] = 0
 	e.fls[b] = append(e.fls[b], walks...)
+	e.pwb[b] = walks[:0] // entry keeps its capacity for the next fill
 	pages := int((bytes + e.ssd.Cfg.PageBytes - 1) / e.ssd.Cfg.PageBytes)
 	e.flsPages[b] += pages
 	e.res.PWBOverflows++

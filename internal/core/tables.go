@@ -36,10 +36,13 @@ func (qc *queryCache) lookup(v graph.VertexID) (blockID int, ok bool) {
 	for i := range qc.entries {
 		e := qc.entries[i]
 		if v >= e.low && v <= e.high {
-			// Move to front (LRU touch).
-			copy(qc.entries[1:i+1], qc.entries[:i])
-			qc.entries[0] = e
 			qc.hits++
+			if i > 0 {
+				// Move to front (LRU touch); a front hit — the common case
+				// under power-law walk skew — skips the shift entirely.
+				copy(qc.entries[1:i+1], qc.entries[:i])
+				qc.entries[0] = e
+			}
 			return e.blockID, true
 		}
 	}
@@ -82,15 +85,28 @@ func newUnitPool(eng *sim.Engine, n int) *unitPool {
 // dispatch schedules a job on the least-busy unit and returns its
 // completion time; done (optional) fires then.
 func (p *unitPool) dispatch(service sim.Time, done func()) sim.Time {
+	p.jobs++
+	p.busy += service
+	return p.pick().Acquire(service, done)
+}
+
+// dispatchEvent is dispatch with a typed completion (no closure).
+func (p *unitPool) dispatchEvent(service sim.Time, done sim.Event) sim.Time {
+	p.jobs++
+	p.busy += service
+	return p.pick().AcquireEvent(service, done)
+}
+
+// pick returns the least-busy unit (first wins ties, matching FIFO issue
+// order on an idle pool).
+func (p *unitPool) pick() *sim.Queue {
 	best := p.units[0]
 	for _, u := range p.units[1:] {
 		if u.BusyUntil() < best.BusyUntil() {
 			best = u
 		}
 	}
-	p.jobs++
-	p.busy += service
-	return best.Acquire(service, done)
+	return best
 }
 
 // utilization reports mean unit utilization.

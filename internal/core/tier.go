@@ -73,6 +73,7 @@ type tierCommon struct {
 	guiderCycle  sim.Time
 	queueCap     int64   // hot-update queue capacity (0: tier has none)
 	hotHits      *uint64 // Result counter for hot-subgraph updates (nil: chip)
+	tierID       int32   // channel index; -1 for the board (event routing)
 	self         tierAccel
 }
 
@@ -99,6 +100,12 @@ func (t *tierCommon) dispatchGuide(ops int, apply func()) {
 	t.guider.dispatch(simTime(ops)*t.guiderCycle, apply)
 }
 
+// dispatchGuideEvent is dispatchGuide with a typed completion (the hot
+// path: no closure).
+func (t *tierCommon) dispatchGuideEvent(ops int, done sim.Event) {
+	t.guider.dispatchEvent(simTime(ops)*t.guiderCycle, done)
+}
+
 // tryHotUpdate claims hot-update queue capacity for st and, on success,
 // runs it through the tier's updater. It reports false (walk untouched)
 // when the queue is full.
@@ -120,21 +127,30 @@ func (t *tierCommon) EnqueueUpdate(st wstate) {
 	size := st.sizeBytes()
 	h := e.decideHop(t.rng, st)
 	e.chargeFilterProbes(h, nil)
-	t.updater.dispatch(e.updateService(t.updaterCycle, h), func() {
-		t.queueBytes -= size
-		if t.hotHits != nil {
-			*t.hotHits++
-		}
-		if !h.deadEnd {
-			e.res.Hops++
-		}
-		if h.terminal {
-			e.board.completed()
-			e.finishWalk(!h.deadEnd)
-			return
-		}
-		t.self.Guide(h.next)
-	})
+	ref, n := e.newNode()
+	n.st, n.prevSize = h.next, size
+	n.terminal, n.deadEnd = h.terminal, h.deadEnd
+	t.updater.dispatchEvent(e.updateService(t.updaterCycle, h),
+		sim.Event{Target: e, Kind: evTierUpdateDone, A: ref, B: t.tierID})
+}
+
+// finishHotUpdate retires or re-guides a walk whose hot-subgraph update
+// completed (the evTierUpdateDone continuation).
+func (t *tierCommon) finishHotUpdate(st wstate, size int64, terminal, deadEnd bool) {
+	e := t.e
+	t.queueBytes -= size
+	if t.hotHits != nil {
+		*t.hotHits++
+	}
+	if !deadEnd {
+		e.res.Hops++
+	}
+	if terminal {
+		e.board.completed()
+		e.finishWalk(!deadEnd)
+		return
+	}
+	t.self.Guide(st)
 }
 
 // hotEntry is one resident hot subgraph, kept sorted by LowVertex so the
@@ -145,9 +161,14 @@ type hotEntry struct {
 }
 
 // hotIndex is a sorted hot-subgraph membership structure shared by the
-// accelerator tiers.
+// accelerator tiers. The boundary columns are kept in flat parallel arrays
+// (struct-of-arrays) so a find probe touches two adjacent vertex IDs per
+// step instead of a full entry record.
 type hotIndex struct {
 	entries []hotEntry
+	lows    []graph.VertexID
+	highs   []graph.VertexID
+	blocks  []int32
 	set     map[int]bool
 }
 
@@ -159,24 +180,28 @@ func newHotIndex(part *partition.Partitioned, ids []int) *hotIndex {
 		h.set[id] = true
 	}
 	sort.Slice(h.entries, func(i, j int) bool { return h.entries[i].low < h.entries[j].low })
+	for i := range h.entries {
+		h.lows = append(h.lows, h.entries[i].low)
+		h.highs = append(h.highs, h.entries[i].high)
+		h.blocks = append(h.blocks, int32(h.entries[i].block))
+	}
 	return h
 }
 
 // find binary-searches for the hot block containing v; steps is the number
 // of comparisons (guider operations).
 func (h *hotIndex) find(v graph.VertexID) (block, steps int) {
-	lo, hi := 0, len(h.entries)-1
+	lo, hi := 0, len(h.lows)-1
 	for lo <= hi {
 		steps++
 		mid := (lo + hi) / 2
-		e := h.entries[mid]
 		switch {
-		case v < e.low:
+		case v < h.lows[mid]:
 			hi = mid - 1
-		case v > e.high:
+		case v > h.highs[mid]:
 			lo = mid + 1
 		default:
-			return e.block, steps
+			return int(h.blocks[mid]), steps
 		}
 	}
 	if steps == 0 {

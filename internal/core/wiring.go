@@ -25,7 +25,7 @@ func (e *Engine) buildAccelerators() {
 		}
 		c.self = c
 		for s := 0; s < e.slotsPerChip; s++ {
-			c.slots = append(c.slots, &chipSlot{block: -1})
+			c.slots = append(c.slots, &chipSlot{idx: s, block: -1})
 		}
 		e.chips = append(e.chips, c)
 		e.tiers = append(e.tiers, c)
@@ -42,6 +42,7 @@ func (e *Engine) buildAccelerators() {
 				guiderCycle:  e.cfg.ChannelGuiderCycle,
 				queueCap:     e.cfg.ChannelWalkQueueBytes,
 				hotHits:      &e.res.HotHitsChannel,
+				tierID:       int32(ch),
 			},
 			id:      ch,
 			channel: e.ssd.Channel(ch),
@@ -61,6 +62,7 @@ func (e *Engine) buildAccelerators() {
 			guiderCycle:  e.cfg.BoardGuiderCycle,
 			queueCap:     e.cfg.BoardWalkQueueBytes,
 			hotHits:      &e.res.HotHitsBoard,
+			tierID:       -1,
 		},
 	}
 	b.self = b

@@ -117,6 +117,10 @@ type SSD struct {
 
 	Counters Counters
 
+	// Pooled multi-part operation records; freeOp heads the free list.
+	ops    []flashOp
+	freeOp int32
+
 	// Optional time series, attached by the harness for Figure 8.
 	ReadTS    *metrics.TimeSeries
 	WriteTS   *metrics.TimeSeries
@@ -143,7 +147,7 @@ func New(eng *sim.Engine, cfg Config) (*SSD, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &SSD{Eng: eng, Cfg: cfg, pcie: sim.NewQueue(eng)}
+	s := &SSD{Eng: eng, Cfg: cfg, pcie: sim.NewQueue(eng), freeOp: -1}
 	for ch := 0; ch < cfg.Channels; ch++ {
 		c := &Channel{ID: ch, Bus: sim.NewQueue(eng)}
 		for k := 0; k < cfg.ChipsPerChannel; k++ {
@@ -196,17 +200,137 @@ func (s *SSD) recordChannel(at sim.Time, bytes int64) {
 	}
 }
 
-// fanOut invokes done once after n completions.
-func fanOut(n int, done func()) func() {
-	if n <= 0 {
-		panic("flash: fanOut over zero events")
+// --- Typed-event plumbing. ---
+//
+// Every data-path operation below is a multi-part operation: n per-page (or
+// per-payload) timelines that each end by accounting traffic and notifying a
+// shared completion. The per-part timelines are typed sim events targeting
+// the SSD itself — no closures — and the shared completion lives in a pooled
+// op record addressed by index, so steady-state flash traffic allocates
+// nothing. The caller's completion is either a typed event (the E-suffixed
+// variants, used by the accelerator hot path) or a func() (the classic API,
+// which costs exactly one op-record store).
+
+// Flash event kinds (private to the SSD's HandleEvent).
+const (
+	fkReadDone    uint16 = iota // page sensed on a plane (local path / FTL)
+	fkSensedChan                // page sensed, next crosses the channel bus
+	fkChanPage                  // page crossed the bus to channel/board
+	fkSensedHost                // page sensed, bound for the host
+	fkChanHost                  // page crossed the bus, next crosses PCIe
+	fkHostPage                  // page reached host memory
+	fkProgramDone               // page programmed on a plane
+	fkBoardOnChip               // board payload page arrived at the chip
+	fkXferChan                  // arbitrary channel-bus payload transferred
+	fkXferHost                  // arbitrary PCIe payload transferred
+	fkErased                    // block erased
+)
+
+// flashOp is one pooled multi-part operation: the completion fires when all
+// parts have finished. Exactly one of done / doneFn is set (or neither).
+type flashOp struct {
+	remaining int32
+	free      int32 // free-list link
+	done      sim.Event
+	doneFn    func()
+}
+
+// newOp claims a pooled op record for n parts.
+func (s *SSD) newOp(n int, done sim.Event, doneFn func()) int32 {
+	var idx int32
+	if s.freeOp >= 0 {
+		idx = s.freeOp
+		s.freeOp = s.ops[idx].free
+	} else {
+		s.ops = append(s.ops, flashOp{})
+		idx = int32(len(s.ops) - 1)
 	}
-	remaining := n
-	return func() {
-		remaining--
-		if remaining == 0 && done != nil {
-			done()
-		}
+	s.ops[idx] = flashOp{remaining: int32(n), free: -1, done: done, doneFn: doneFn}
+	return idx
+}
+
+// opPart retires one part of the op; the last part fires the completion
+// inline (matching the old closure fan-out, which called done() inside the
+// final page's event) and recycles the record.
+func (s *SSD) opPart(idx int32) {
+	op := &s.ops[idx]
+	op.remaining--
+	if op.remaining > 0 {
+		return
+	}
+	done, doneFn := op.done, op.doneFn
+	*op = flashOp{free: s.freeOp}
+	s.freeOp = idx
+	if doneFn != nil {
+		doneFn()
+	} else if !done.None() {
+		done.Target.HandleEvent(done)
+	}
+}
+
+// HandleEvent advances the per-part timelines. A = op index, B = global chip
+// index (stages that still need the chip), C = payload bytes (arbitrary
+// transfers). It is exported only to satisfy sim.Handler.
+func (s *SSD) HandleEvent(ev sim.Event) {
+	now := s.Eng.Now()
+	switch ev.Kind {
+	case fkReadDone:
+		s.recordRead(now, s.Cfg.PageBytes)
+		s.opPart(ev.A)
+	case fkSensedChan:
+		s.recordRead(now, s.Cfg.PageBytes)
+		chip := s.Chip(int(ev.B))
+		xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
+		chip.Channel.Bus.AcquireAfterEvent(now, xfer,
+			sim.Event{Target: s, Kind: fkChanPage, A: ev.A})
+	case fkChanPage:
+		s.recordChannel(now, s.Cfg.PageBytes)
+		s.opPart(ev.A)
+	case fkSensedHost:
+		s.recordRead(now, s.Cfg.PageBytes)
+		chip := s.Chip(int(ev.B))
+		xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
+		chip.Channel.Bus.AcquireAfterEvent(now, xfer,
+			sim.Event{Target: s, Kind: fkChanHost, A: ev.A})
+	case fkChanHost:
+		s.recordChannel(now, s.Cfg.PageBytes)
+		xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.PCIeBytesPerSec)
+		s.pcie.AcquireAfterEvent(now, xfer,
+			sim.Event{Target: s, Kind: fkHostPage, A: ev.A})
+	case fkHostPage:
+		s.Counters.HostBytes += s.Cfg.PageBytes
+		s.opPart(ev.A)
+	case fkProgramDone:
+		s.recordWrite(now, s.Cfg.PageBytes)
+		s.opPart(ev.A)
+	case fkBoardOnChip:
+		s.recordChannel(now, s.Cfg.PageBytes)
+		chip := s.Chip(int(ev.B))
+		pl := chip.planes[chip.next]
+		chip.next = (chip.next + 1) % len(chip.planes)
+		pl.AcquireAfterEvent(now, s.Cfg.ProgramLatency,
+			sim.Event{Target: s, Kind: fkProgramDone, A: ev.A})
+	case fkXferChan:
+		s.recordChannel(now, ev.C)
+		s.opPart(ev.A)
+	case fkXferHost:
+		s.Counters.HostBytes += ev.C
+		s.opPart(ev.A)
+	case fkErased:
+		s.Counters.ErasedBlocks++
+		s.opPart(ev.A)
+	default:
+		panic(fmt.Sprintf("flash: unknown event kind %d", ev.Kind))
+	}
+}
+
+// skip handles the degenerate zero-part case: the completion still fires as
+// a scheduled event at the current time, as the old API did.
+func (s *SSD) skip(done sim.Event, doneFn func()) {
+	if doneFn != nil {
+		s.Eng.After(0, doneFn)
+	} else if !done.None() {
+		s.Eng.ScheduleAfter(0, done)
 	}
 }
 
@@ -215,22 +339,24 @@ func fanOut(n int, done func()) func() {
 // at ReadLatency per page. done fires when the last page is available.
 // The channel bus is NOT used: this is the in-storage path.
 func (s *SSD) ReadPagesLocal(chip *Chip, n int, done func()) {
+	s.readPagesLocal(chip, n, sim.Event{}, done)
+}
+
+// ReadPagesLocalE is ReadPagesLocal with a typed completion (allocation-free).
+func (s *SSD) ReadPagesLocalE(chip *Chip, n int, done sim.Event) {
+	s.readPagesLocal(chip, n, done, nil)
+}
+
+func (s *SSD) readPagesLocal(chip *Chip, n int, done sim.Event, doneFn func()) {
 	if n <= 0 {
-		if done != nil {
-			s.Eng.After(0, done)
-		}
+		s.skip(done, doneFn)
 		return
 	}
-	each := fanOut(n, done)
+	op := s.newOp(n, done, doneFn)
 	for i := 0; i < n; i++ {
 		pl := chip.planes[chip.next]
 		chip.next = (chip.next + 1) % len(chip.planes)
-		pageBytes := s.Cfg.PageBytes
-		end := pl.Acquire(s.Cfg.ReadLatency, nil)
-		s.Eng.At(end, func() {
-			s.recordRead(end, pageBytes)
-			each()
-		})
+		pl.AcquireEvent(s.Cfg.ReadLatency, sim.Event{Target: s, Kind: fkReadDone, A: op})
 	}
 }
 
@@ -238,27 +364,25 @@ func (s *SSD) ReadPagesLocal(chip *Chip, n int, done func()) {
 // to the channel-level (or board-level) accelerator. done fires when the
 // last page has crossed the bus.
 func (s *SSD) ReadPagesToChannel(chip *Chip, n int, done func()) {
+	s.readPagesToChannel(chip, n, sim.Event{}, done)
+}
+
+// ReadPagesToChannelE is ReadPagesToChannel with a typed completion.
+func (s *SSD) ReadPagesToChannelE(chip *Chip, n int, done sim.Event) {
+	s.readPagesToChannel(chip, n, done, nil)
+}
+
+func (s *SSD) readPagesToChannel(chip *Chip, n int, done sim.Event, doneFn func()) {
 	if n <= 0 {
-		if done != nil {
-			s.Eng.After(0, done)
-		}
+		s.skip(done, doneFn)
 		return
 	}
-	each := fanOut(n, done)
-	xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
+	op := s.newOp(n, done, doneFn)
 	for i := 0; i < n; i++ {
 		pl := chip.planes[chip.next]
 		chip.next = (chip.next + 1) % len(chip.planes)
-		sensed := pl.Acquire(s.Cfg.ReadLatency, nil)
-		pageBytes := s.Cfg.PageBytes
-		s.Eng.At(sensed, func() {
-			s.recordRead(sensed, pageBytes)
-			onBus := chip.Channel.Bus.AcquireAfter(sensed, xfer, nil)
-			s.Eng.At(onBus, func() {
-				s.recordChannel(onBus, pageBytes)
-				each()
-			})
-		})
+		pl.AcquireEvent(s.Cfg.ReadLatency,
+			sim.Event{Target: s, Kind: fkSensedChan, A: op, B: int32(chip.ID)})
 	}
 }
 
@@ -267,31 +391,15 @@ func (s *SSD) ReadPagesToChannel(chip *Chip, n int, done func()) {
 // page reaches host memory.
 func (s *SSD) ReadPagesToHost(chip *Chip, n int, done func()) {
 	if n <= 0 {
-		if done != nil {
-			s.Eng.After(0, done)
-		}
+		s.skip(sim.Event{}, done)
 		return
 	}
-	each := fanOut(n, done)
-	chXfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
-	pcieXfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.PCIeBytesPerSec)
+	op := s.newOp(n, sim.Event{}, done)
 	for i := 0; i < n; i++ {
 		pl := chip.planes[chip.next]
 		chip.next = (chip.next + 1) % len(chip.planes)
-		sensed := pl.Acquire(s.Cfg.ReadLatency, nil)
-		pageBytes := s.Cfg.PageBytes
-		s.Eng.At(sensed, func() {
-			s.recordRead(sensed, pageBytes)
-			onBus := chip.Channel.Bus.AcquireAfter(sensed, chXfer, nil)
-			s.Eng.At(onBus, func() {
-				s.recordChannel(onBus, pageBytes)
-				onHost := s.pcie.AcquireAfter(onBus, pcieXfer, nil)
-				s.Eng.At(onHost, func() {
-					s.Counters.HostBytes += pageBytes
-					each()
-				})
-			})
-		})
+		pl.AcquireEvent(s.Cfg.ReadLatency,
+			sim.Event{Target: s, Kind: fkSensedHost, A: op, B: int32(chip.ID)})
 	}
 }
 
@@ -299,21 +407,14 @@ func (s *SSD) ReadPagesToHost(chip *Chip, n int, done func()) {
 // the chip — e.g. a chip-level accelerator flushing its overflow buffer).
 func (s *SSD) ProgramPagesLocal(chip *Chip, n int, done func()) {
 	if n <= 0 {
-		if done != nil {
-			s.Eng.After(0, done)
-		}
+		s.skip(sim.Event{}, done)
 		return
 	}
-	each := fanOut(n, done)
+	op := s.newOp(n, sim.Event{}, done)
 	for i := 0; i < n; i++ {
 		pl := chip.planes[chip.next]
 		chip.next = (chip.next + 1) % len(chip.planes)
-		end := pl.Acquire(s.Cfg.ProgramLatency, nil)
-		pageBytes := s.Cfg.PageBytes
-		s.Eng.At(end, func() {
-			s.recordWrite(end, pageBytes)
-			each()
-		})
+		pl.AcquireEvent(s.Cfg.ProgramLatency, sim.Event{Target: s, Kind: fkProgramDone, A: op})
 	}
 }
 
@@ -322,26 +423,14 @@ func (s *SSD) ProgramPagesLocal(chip *Chip, n int, done func()) {
 // foreigner walks to flash, §III-D).
 func (s *SSD) ProgramPagesFromBoard(chip *Chip, n int, done func()) {
 	if n <= 0 {
-		if done != nil {
-			s.Eng.After(0, done)
-		}
+		s.skip(sim.Event{}, done)
 		return
 	}
-	each := fanOut(n, done)
+	op := s.newOp(n, sim.Event{}, done)
 	xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
 	for i := 0; i < n; i++ {
-		pageBytes := s.Cfg.PageBytes
-		onChip := chip.Channel.Bus.Acquire(xfer, nil)
-		s.Eng.At(onChip, func() {
-			s.recordChannel(onChip, pageBytes)
-			pl := chip.planes[chip.next]
-			chip.next = (chip.next + 1) % len(chip.planes)
-			end := pl.AcquireAfter(onChip, s.Cfg.ProgramLatency, nil)
-			s.Eng.At(end, func() {
-				s.recordWrite(end, pageBytes)
-				each()
-			})
-		})
+		chip.Channel.Bus.AcquireEvent(xfer,
+			sim.Event{Target: s, Kind: fkBoardOnChip, A: op, B: int32(chip.ID)})
 	}
 }
 
@@ -349,81 +438,59 @@ func (s *SSD) ProgramPagesFromBoard(chip *Chip, n int, done func()) {
 // (roving walks moving chip->channel or commands/walks moving down). done
 // fires when the transfer completes.
 func (s *SSD) TransferChannel(ch *Channel, bytes int64, done func()) {
+	s.transferChannel(ch, bytes, sim.Event{}, done)
+}
+
+// TransferChannelE is TransferChannel with a typed completion.
+func (s *SSD) TransferChannelE(ch *Channel, bytes int64, done sim.Event) {
+	s.transferChannel(ch, bytes, done, nil)
+}
+
+func (s *SSD) transferChannel(ch *Channel, bytes int64, done sim.Event, doneFn func()) {
 	if bytes <= 0 {
-		if done != nil {
-			s.Eng.After(0, done)
-		}
+		s.skip(done, doneFn)
 		return
 	}
+	op := s.newOp(1, done, doneFn)
 	xfer := sim.TransferTime(bytes, s.Cfg.ChannelBytesPerSec)
-	end := ch.Bus.Acquire(xfer, nil)
-	s.Eng.At(end, func() {
-		s.recordChannel(end, bytes)
-		if done != nil {
-			done()
-		}
-	})
+	ch.Bus.AcquireEvent(xfer, sim.Event{Target: s, Kind: fkXferChan, A: op, C: bytes})
 }
 
 // TransferHost occupies the PCIe link for an arbitrary payload.
 func (s *SSD) TransferHost(bytes int64, done func()) {
 	if bytes <= 0 {
-		if done != nil {
-			s.Eng.After(0, done)
-		}
+		s.skip(sim.Event{}, done)
 		return
 	}
+	op := s.newOp(1, sim.Event{}, done)
 	xfer := sim.TransferTime(bytes, s.Cfg.PCIeBytesPerSec)
-	end := s.pcie.Acquire(xfer, nil)
-	s.Eng.At(end, func() {
-		s.Counters.HostBytes += bytes
-		if done != nil {
-			done()
-		}
-	})
+	s.pcie.AcquireEvent(xfer, sim.Event{Target: s, Kind: fkXferHost, A: op, C: bytes})
 }
 
 // ReadPageAt senses one page on a specific plane of a chip (used by the
 // FTL, which tracks physical placement itself). done fires when the page
 // is in the plane register; no bus time is charged.
 func (s *SSD) ReadPageAt(chipIdx, plane int, done func()) {
+	op := s.newOp(1, sim.Event{}, done)
 	chip := s.Chip(chipIdx)
-	pl := chip.planes[plane]
-	end := pl.Acquire(s.Cfg.ReadLatency, nil)
-	pageBytes := s.Cfg.PageBytes
-	s.Eng.At(end, func() {
-		s.recordRead(end, pageBytes)
-		if done != nil {
-			done()
-		}
-	})
+	chip.planes[plane].AcquireEvent(s.Cfg.ReadLatency,
+		sim.Event{Target: s, Kind: fkReadDone, A: op})
 }
 
 // ProgramPageAt programs one page on a specific plane of a chip.
 func (s *SSD) ProgramPageAt(chipIdx, plane int, done func()) {
+	op := s.newOp(1, sim.Event{}, done)
 	chip := s.Chip(chipIdx)
-	pl := chip.planes[plane]
-	end := pl.Acquire(s.Cfg.ProgramLatency, nil)
-	pageBytes := s.Cfg.PageBytes
-	s.Eng.At(end, func() {
-		s.recordWrite(end, pageBytes)
-		if done != nil {
-			done()
-		}
-	})
+	chip.planes[plane].AcquireEvent(s.Cfg.ProgramLatency,
+		sim.Event{Target: s, Kind: fkProgramDone, A: op})
 }
 
 // EraseBlockAt erases one block on a specific plane of a chip.
 func (s *SSD) EraseBlockAt(chipIdx, plane int, done func()) {
+	op := s.newOp(1, sim.Event{}, done)
 	chip := s.Chip(chipIdx)
-	pl := chip.planes[plane]
-	end := pl.Acquire(s.Cfg.EraseLatency, nil)
-	s.Eng.At(end, func() {
-		s.Counters.ErasedBlocks++
-		if done != nil {
-			done()
-		}
-	})
+	chip.planes[plane].AcquireEvent(s.Cfg.EraseLatency,
+		sim.Event{Target: s, Kind: fkErased, A: op})
 }
 
 // PagesFor reports how many pages a payload of the given size occupies.

@@ -139,9 +139,17 @@ type Partitioned struct {
 	Blocks []Block
 	// table holds IDs of non-dense blocks in vertex order; it is the
 	// subgraph mapping table the board-level guider binary-searches.
-	table  []int
-	Dense  *DenseTable
-	Ranges []Range
+	table []int
+	// tabLow/tabHigh/tabID are the mapping table's boundary columns in
+	// flat struct-of-arrays form: a search probe reads two adjacent vertex
+	// IDs instead of dereferencing a full Block record, so the hot binary
+	// searches stay inside a handful of cache lines. Parallel to table.
+	tabLow, tabHigh []graph.VertexID
+	tabID           []int32
+	// rngLow/rngHigh mirror Ranges the same way for RangeOf.
+	rngLow, rngHigh []graph.VertexID
+	Dense           *DenseTable
+	Ranges          []Range
 	// NumPartitions is ceil(len(Blocks)/SubgraphsPerPartition).
 	NumPartitions int
 }
@@ -254,6 +262,20 @@ func Partition(g *graph.Graph, cfg Config) (*Partitioned, error) {
 	}
 
 	p.NumPartitions = (len(p.Blocks) + cfg.SubgraphsPerPartition - 1) / cfg.SubgraphsPerPartition
+
+	// Flatten the search columns (see the field comments).
+	p.tabLow = make([]graph.VertexID, len(p.table))
+	p.tabHigh = make([]graph.VertexID, len(p.table))
+	p.tabID = make([]int32, len(p.table))
+	for i, id := range p.table {
+		b := &p.Blocks[id]
+		p.tabLow[i], p.tabHigh[i], p.tabID[i] = b.LowVertex, b.HighVertex, int32(id)
+	}
+	p.rngLow = make([]graph.VertexID, len(p.Ranges))
+	p.rngHigh = make([]graph.VertexID, len(p.Ranges))
+	for i := range p.Ranges {
+		p.rngLow[i], p.rngHigh[i] = p.Ranges[i].LowVertex, p.Ranges[i].HighVertex
+	}
 	return p, nil
 }
 
@@ -336,18 +358,21 @@ func (p *Partitioned) upperTableIndex(blockID int) int {
 	return lo - 1
 }
 
+// searchTable runs the guider's binary search over the flattened boundary
+// columns. The loop (and so the modelled step count) is identical to a
+// search over the Block records; only the memory layout differs.
 func (p *Partitioned) searchTable(v graph.VertexID, lo, hi int) (blockID, steps int) {
+	low, high := p.tabLow, p.tabHigh
 	for lo <= hi {
 		steps++
 		mid := (lo + hi) / 2
-		b := &p.Blocks[p.table[mid]]
 		switch {
-		case v < b.LowVertex:
+		case v < low[mid]:
 			hi = mid - 1
-		case v > b.HighVertex:
+		case v > high[mid]:
 			lo = mid + 1
 		default:
-			return b.ID, steps
+			return int(p.tabID[mid]), steps
 		}
 	}
 	return -1, steps
@@ -357,15 +382,15 @@ func (p *Partitioned) searchTable(v graph.VertexID, lo, hi int) (blockID, steps 
 // v, returning the range index and search steps. Every vertex (dense or
 // not) is covered by exactly one range.
 func (p *Partitioned) RangeOf(v graph.VertexID) (rangeID, steps int) {
-	lo, hi := 0, len(p.Ranges)-1
+	low, high := p.rngLow, p.rngHigh
+	lo, hi := 0, len(low)-1
 	for lo <= hi {
 		steps++
 		mid := (lo + hi) / 2
-		r := &p.Ranges[mid]
 		switch {
-		case v < r.LowVertex:
+		case v < low[mid]:
 			hi = mid - 1
-		case v > r.HighVertex:
+		case v > high[mid]:
 			lo = mid + 1
 		default:
 			return mid, steps

@@ -1,21 +1,26 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel is deliberately small: an Engine owns a binary heap of timed
+// The kernel is deliberately small: an Engine owns a 4-ary heap of timed
 // events and executes them in (time, insertion-order) order, so two events
 // scheduled for the same instant always fire in the order they were
 // scheduled. All FlashWalker hardware models (flash planes, channel buses,
 // accelerator updaters and guiders, DRAM) are state machines driven by
-// Engine callbacks.
+// Engine events.
+//
+// Events come in two flavours. Typed events (Schedule / ScheduleAfter) are
+// plain value records — a Handler target, a kind tag, and a small integer
+// payload — dispatched through the target's HandleEvent; they are the hot
+// path and allocate nothing in steady state (heap slots and handler state
+// are reused). Closure events (At / After) carry an arbitrary func() and
+// remain for cold paths and tests; each costs one closure allocation plus a
+// pooled slot.
 //
 // Simulated time is an int64 count of nanoseconds. The finest clock in the
 // modelled system is the 1 GHz board-level accelerator (1 ns per cycle), so
 // nanosecond resolution is exact for every modelled latency.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated timestamp or duration in nanoseconds.
 type Time int64
@@ -45,38 +50,52 @@ func (t Time) String() string {
 	}
 }
 
-type event struct {
+// Handler receives typed events at their scheduled time. Implementations
+// dispatch on Event.Kind; kind values are private to each Handler, so
+// independent subsystems (the accelerator engine, the SSD) never collide.
+type Handler interface {
+	HandleEvent(ev Event)
+}
+
+// Event is a typed event record: a target, a kind tag the target dispatches
+// on, and a small integer payload whose meaning the (target, kind) pair
+// defines. Events are plain values — scheduling one never allocates.
+//
+// The zero Event (nil Target) is the "no completion" sentinel accepted by
+// APIs with optional completions; Schedule rejects it.
+type Event struct {
+	Target Handler
+	C      int64
+	A, B   int32
+	Kind   uint16
+}
+
+// None reports whether the event is the zero "no completion" sentinel.
+func (ev Event) None() bool { return ev.Target == nil }
+
+// entry is one pending heap slot.
+type entry struct {
 	at  Time
 	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	ev  Event
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	heap      eventHeap
+	heap      []entry
 	now       Time
 	seq       uint64
 	processed uint64
+
+	// funcs holds pending closures for At/After events; slots are free-listed
+	// so a draining schedule reuses them. The engine itself is the Handler
+	// for these (kindFunc is the only kind it handles).
+	funcs   []func()
+	freeFns []int32
 }
+
+// kindFunc tags the engine-internal closure events created by At/After.
+const kindFunc uint16 = 0
 
 // New returns a fresh Engine at time zero.
 func New() *Engine { return &Engine{} }
@@ -90,14 +109,35 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending reports how many events are scheduled but not yet executed.
 func (e *Engine) Pending() int { return len(e.heap) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a modelling bug.
-func (e *Engine) At(t Time, fn func()) {
+// Schedule enqueues a typed event at absolute time t. Scheduling in the past
+// panics: it always indicates a modelling bug. The nil-target sentinel also
+// panics — callers must filter optional completions themselves.
+func (e *Engine) Schedule(t Time, ev Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+	if ev.Target == nil {
+		panic("sim: scheduling event with nil target")
+	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.push(entry{at: t, seq: e.seq, ev: ev})
+}
+
+// ScheduleAfter enqueues a typed event d nanoseconds from now.
+func (e *Engine) ScheduleAfter(d Time, ev Event) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+d, ev)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug.
+func (e *Engine) At(t Time, fn func()) {
+	if fn == nil {
+		panic("sim: scheduling nil func")
+	}
+	e.Schedule(t, Event{Target: e, Kind: kindFunc, A: e.putFunc(fn)})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -108,16 +148,40 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// putFunc parks a closure in a pooled slot and returns its index.
+func (e *Engine) putFunc(fn func()) int32 {
+	if n := len(e.freeFns); n > 0 {
+		slot := e.freeFns[n-1]
+		e.freeFns = e.freeFns[:n-1]
+		e.funcs[slot] = fn
+		return slot
+	}
+	e.funcs = append(e.funcs, fn)
+	return int32(len(e.funcs) - 1)
+}
+
+// HandleEvent dispatches the engine's own closure events. It is exported
+// only to satisfy Handler; external code never targets the engine.
+func (e *Engine) HandleEvent(ev Event) {
+	if ev.Kind != kindFunc {
+		panic(fmt.Sprintf("sim: engine received unknown event kind %d", ev.Kind))
+	}
+	fn := e.funcs[ev.A]
+	e.funcs[ev.A] = nil
+	e.freeFns = append(e.freeFns, ev.A)
+	fn()
+}
+
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
-	e.now = ev.at
+	ent := e.pop()
+	e.now = ent.at
 	e.processed++
-	ev.fn()
+	ent.ev.Target.HandleEvent(ent.ev)
 	return true
 }
 
@@ -139,4 +203,73 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.now = deadline
 	}
 	return e.now
+}
+
+// --- 4-ary min-heap on (at, seq). ---
+//
+// A 4-ary layout halves the tree depth of a binary heap, and the entries
+// are compared inline on two integer fields, so a push/pop touches fewer
+// cache lines and performs no interface calls (the container/heap version
+// boxed every entry through interface{} — one allocation per event). The
+// (at, seq) key is a strict total order, so the drain sequence is identical
+// to any other min-heap over the same schedule.
+
+// less orders heap entries by (at, seq).
+func less(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends the entry and sifts it up. The backing array is retained
+// across drains, so a steady-state schedule allocates only on high-water
+// growth.
+func (e *Engine) push(ent entry) {
+	h := append(e.heap, ent)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// pop removes and returns the minimum entry.
+func (e *Engine) pop() entry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = entry{} // drop the closure slot reference for GC
+	h = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(&h[c], &h[best]) {
+				best = c
+			}
+		}
+		if !less(&h[best], &h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	e.heap = h
+	return top
 }

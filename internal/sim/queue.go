@@ -21,33 +21,11 @@ type Queue struct {
 // NewQueue returns a FIFO resource bound to the engine.
 func NewQueue(eng *Engine) *Queue { return &Queue{eng: eng} }
 
-// Acquire reserves the resource for service nanoseconds, starting as soon as
-// all previously issued requests have drained. It returns the completion
-// time and, if done is non-nil, schedules done at that time.
-func (q *Queue) Acquire(service Time, done func()) Time {
+// reserve books the resource from readyAt for service nanoseconds and
+// returns the completion time.
+func (q *Queue) reserve(readyAt, service Time) Time {
 	if service < 0 {
 		panic("sim: negative service time")
-	}
-	start := q.eng.Now()
-	if q.busyUntil > start {
-		q.waited += q.busyUntil - start
-		start = q.busyUntil
-	}
-	end := start + service
-	q.busyUntil = end
-	q.busyTotal += service
-	q.served++
-	if done != nil {
-		q.eng.At(end, done)
-	}
-	return end
-}
-
-// AcquireAfter is Acquire but the request is issued at absolute time
-// readyAt >= now (e.g. a transfer that can only start once data is staged).
-func (q *Queue) AcquireAfter(readyAt, service Time, done func()) Time {
-	if readyAt < q.eng.Now() {
-		readyAt = q.eng.Now()
 	}
 	start := readyAt
 	if q.busyUntil > start {
@@ -58,8 +36,51 @@ func (q *Queue) AcquireAfter(readyAt, service Time, done func()) Time {
 	q.busyUntil = end
 	q.busyTotal += service
 	q.served++
+	return end
+}
+
+// Acquire reserves the resource for service nanoseconds, starting as soon as
+// all previously issued requests have drained. It returns the completion
+// time and, if done is non-nil, schedules done at that time.
+func (q *Queue) Acquire(service Time, done func()) Time {
+	end := q.reserve(q.eng.Now(), service)
 	if done != nil {
 		q.eng.At(end, done)
+	}
+	return end
+}
+
+// AcquireEvent is Acquire with a typed completion event instead of a
+// closure; it allocates nothing. The zero event means no completion.
+func (q *Queue) AcquireEvent(service Time, done Event) Time {
+	end := q.reserve(q.eng.Now(), service)
+	if !done.None() {
+		q.eng.Schedule(end, done)
+	}
+	return end
+}
+
+// AcquireAfter is Acquire but the request is issued at absolute time
+// readyAt >= now (e.g. a transfer that can only start once data is staged).
+func (q *Queue) AcquireAfter(readyAt, service Time, done func()) Time {
+	if readyAt < q.eng.Now() {
+		readyAt = q.eng.Now()
+	}
+	end := q.reserve(readyAt, service)
+	if done != nil {
+		q.eng.At(end, done)
+	}
+	return end
+}
+
+// AcquireAfterEvent is AcquireAfter with a typed completion event.
+func (q *Queue) AcquireAfterEvent(readyAt, service Time, done Event) Time {
+	if readyAt < q.eng.Now() {
+		readyAt = q.eng.Now()
+	}
+	end := q.reserve(readyAt, service)
+	if !done.None() {
+		q.eng.Schedule(end, done)
 	}
 	return end
 }
