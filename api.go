@@ -6,8 +6,11 @@ package flashwalker
 // GraphWalker baseline, and the scaled dataset registry.
 
 import (
+	"context"
+
 	"flashwalker/internal/baseline"
 	"flashwalker/internal/core"
+	"flashwalker/internal/errs"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/sim"
@@ -127,32 +130,53 @@ const (
 	BaselineMem16GB = harness.GWMem16GB
 )
 
-// Simulate runs the FlashWalker in-storage accelerator on g.
-func Simulate(g *Graph, rc RunConfig) (*Result, error) {
+// Sentinel errors. Every failure from the entry points below wraps one of
+// these, so callers classify with errors.Is instead of string matching.
+var (
+	// ErrCanceled reports a run halted by context cancellation. The
+	// accompanying result, when non-nil, is a consistent partial snapshot
+	// taken at the halting event boundary.
+	ErrCanceled = errs.ErrCanceled
+	// ErrInvalidConfig reports a rejected configuration or walk spec.
+	ErrInvalidConfig = errs.ErrInvalidConfig
+	// ErrUnknownDataset reports a dataset name missing from the registry.
+	ErrUnknownDataset = errs.ErrUnknownDataset
+)
+
+// Progress is a live FlashWalker counter snapshot (RunConfig.OnProgress).
+type Progress = core.Progress
+
+// Simulate runs the FlashWalker in-storage accelerator on g. Canceling ctx
+// halts the simulation at the next event boundary and returns the partial
+// result along with an error wrapping ErrCanceled; an uncanceled run is
+// bit-identical to one with context.Background().
+func Simulate(ctx context.Context, g *Graph, rc RunConfig) (*Result, error) {
 	e, err := core.NewEngine(g, rc)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }
 
 // SimulateBaseline runs the GraphWalker comparison system on g with
-// numWalks walks starting at uniformly random vertices.
-func SimulateBaseline(g *Graph, cfg BaselineConfig, spec WalkSpec, numWalks int, startSeed uint64) (*BaselineResult, error) {
+// numWalks walks starting at uniformly random vertices. Cancellation
+// behaves as in Simulate.
+func SimulateBaseline(ctx context.Context, g *Graph, cfg BaselineConfig, spec WalkSpec, numWalks int, startSeed uint64) (*BaselineResult, error) {
 	e, err := baseline.New(g, cfg, spec, numWalks, startSeed)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }
 
 // RunWalks executes walks directly on the graph (the reference CPU
 // implementation, no hardware simulation): numWalks walks from uniformly
 // random start vertices. The optional trace callback receives each walk's
-// full path.
-func RunWalks(g *Graph, spec WalkSpec, numWalks int, seed uint64, traceFn func(i int, path []VertexID)) (*WalkStats, error) {
+// full path. Canceling ctx stops between walks and returns the partial
+// stats with an error wrapping ErrCanceled.
+func RunWalks(ctx context.Context, g *Graph, spec WalkSpec, numWalks int, seed uint64, traceFn func(i int, path []VertexID)) (*WalkStats, error) {
 	ws := walk.NewWalks(spec, walk.UniformStarts(g, numWalks, seed), numWalks)
-	return walk.Run(g, spec, ws, seed+1, traceFn)
+	return walk.RunContext(ctx, g, spec, ws, seed+1, traceFn)
 }
 
 // EstimateEnergy converts a FlashWalker result into a joule estimate using

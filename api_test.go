@@ -1,6 +1,9 @@
 package flashwalker
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	g, err := GenerateRMAT(2048, 16384, 1)
@@ -13,7 +16,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	// Borrow the dataset's scaled config shape but run on our own graph.
 	rc := DefaultRunConfig(d, AllOptions(), 500, 1)
-	res, err := Simulate(g, rc)
+	res, err := Simulate(context.Background(), g, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +24,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("finished %d of 500", res.WalksFinished())
 	}
 
-	bl, err := SimulateBaseline(g, DefaultBaselineConfig(d, BaselineMem8GB, 1), rc.Spec, 500, 101)
+	bl, err := SimulateBaseline(context.Background(), g, DefaultBaselineConfig(d, BaselineMem8GB, 1), rc.Spec, 500, 101)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func TestPublicAPIReferenceWalks(t *testing.T) {
 	}
 	spec := WalkSpec{Kind: Unbiased, Length: 6}
 	paths := 0
-	st, err := RunWalks(g, spec, 200, 3, func(i int, path []VertexID) { paths++ })
+	st, err := RunWalks(context.Background(), g, spec, 200, 3, func(i int, path []VertexID) { paths++ })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +83,7 @@ func TestPublicAPITracingAndEnergy(t *testing.T) {
 	rec := NewTraceRecorder()
 	rc := DefaultRunConfig(d, AllOptions(), 300, 1)
 	rc.Tracer = rec
-	res, err := Simulate(g, rc)
+	res, err := Simulate(context.Background(), g, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +108,7 @@ func TestPublicAPIDatasets(t *testing.T) {
 func TestPublicAPISecondOrder(t *testing.T) {
 	g, _ := GenerateRMAT(512, 8192, 6)
 	spec := WalkSpec{Kind: SecondOrder, Length: 6, P: 0.5, Q: 2}
-	st, err := RunWalks(g, spec, 100, 7, nil)
+	st, err := RunWalks(context.Background(), g, spec, 100, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

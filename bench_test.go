@@ -8,6 +8,7 @@ package flashwalker
 // output so `go test -bench=.` doubles as a results table.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -51,7 +52,7 @@ func BenchmarkTable4Datasets(b *testing.B) {
 // dominates).
 func BenchmarkFig1Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig1(benchScale, benchSeed, benchWorkers)
+		rows, err := harness.Fig1(context.Background(), benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func BenchmarkFig1Breakdown(b *testing.B) {
 // GraphWalker across all five datasets and a walk-count sweep.
 func BenchmarkFig5Speedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig5(benchScale, benchSeed, benchWorkers)
+		rows, err := harness.Fig5(context.Background(), benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func BenchmarkFig5Speedup(b *testing.B) {
 // achieved flash bandwidth improvement at the fixed walk counts.
 func BenchmarkFig6Traffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig6(benchScale, benchSeed, benchWorkers)
+		rows, err := harness.Fig6(context.Background(), benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkFig6Traffic(b *testing.B) {
 // with the scaled 4/8/16 GB memory budgets.
 func BenchmarkFig7Memory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig7(benchScale, benchSeed, benchWorkers)
+		rows, err := harness.Fig7(context.Background(), benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func BenchmarkFig7Memory(b *testing.B) {
 // walks finish early, the rest dominates the run).
 func BenchmarkFig8Resource(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := harness.Fig8("CW-S", benchScale, benchSeed)
+		s, err := harness.Fig8(context.Background(), "CW-S", benchScale, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,7 +149,7 @@ func BenchmarkFig8Resource(b *testing.B) {
 func BenchmarkFig9Ablation(b *testing.B) {
 	const fig9Scale = 0.4
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig9(fig9Scale, benchSeed, benchWorkers)
+		rows, err := harness.Fig9(context.Background(), fig9Scale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkFlashWalkerTT(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := harness.RunFlashWalker(d, core.AllOptions(), 5000, benchSeed, 0)
+		res, err := harness.RunFlashWalker(context.Background(), d, core.AllOptions(), 5000, benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func BenchmarkGraphWalkerTT(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.RunGraphWalker(d, harness.GWMem8GB, 5000, benchSeed); err != nil {
+		if _, err := harness.RunGraphWalker(context.Background(), d, harness.GWMem8GB, 5000, benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -203,7 +204,7 @@ func BenchmarkGraphWalkerTT(b *testing.B) {
 // experiment (the paper's §I energy motivation quantified).
 func BenchmarkEnergyExtension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.ExtEnergy(benchScale, benchSeed, benchWorkers)
+		rows, err := harness.ExtEnergy(context.Background(), benchScale, benchSeed, benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,91 @@
+package flashwalker
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flashwalker/internal/errs"
+)
+
+// A canceled context must halt Simulate at an event boundary and hand back
+// a partial result whose error classifies via the re-exported sentinels.
+func TestSimulateCancellation(t *testing.T) {
+	g, err := GenerateRMAT(2048, 16384, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DatasetByName("TT-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig(d, AllOptions(), 500, 1)
+	rc.CheckpointEvery = 64 // halt promptly on the small run
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Simulate(ctx, g, rc)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error %v does not wrap ErrCanceled", err)
+	}
+	var c *errs.Canceled
+	if !errors.As(err, &c) {
+		t.Fatal("errors.As failed to recover *errs.Canceled")
+	}
+	if c.Finished >= 500 {
+		t.Errorf("canceled run claims %d finished walks", c.Finished)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned")
+	}
+	if res.WalksFinished() >= 500 {
+		t.Errorf("partial result claims completion: %d finished", res.WalksFinished())
+	}
+}
+
+// An uncanceled context must leave the run untouched: same result as the
+// context-free path, bit for bit (the golden-seed digest test pins the
+// full timeline; this checks the facade plumbing end to end).
+func TestSimulateUncanceledIdentical(t *testing.T) {
+	g, err := GenerateRMAT(1024, 8192, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DatasetByName("TT-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig(d, AllOptions(), 200, 1)
+	base, err := Simulate(context.Background(), g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := Simulate(ctx, g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Time != withCtx.Time || base.Hops != withCtx.Hops ||
+		base.Completed != withCtx.Completed {
+		t.Errorf("cancelable run diverged: %v/%d/%d vs %v/%d/%d",
+			base.Time, base.Hops, base.Completed,
+			withCtx.Time, withCtx.Hops, withCtx.Completed)
+	}
+}
+
+func TestRunWalksCancellation(t *testing.T) {
+	g, err := GeneratePowerLaw(1024, 8192, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := RunWalks(ctx, g, WalkSpec{Kind: Unbiased, Length: 6}, 1000, 3, nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error %v does not wrap ErrCanceled", err)
+	}
+	if st == nil {
+		t.Fatal("no partial stats returned")
+	}
+}

@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"flashwalker/internal/harness"
 )
@@ -52,6 +55,11 @@ func main() {
 	}
 	memProfilePath = *memprofile
 
+	// Ctrl-C (or SIGTERM) cancels in-flight sweeps at the next event
+	// boundary; partial figures still flush their profiles on the way out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fail(err)
@@ -74,12 +82,12 @@ func main() {
 		}
 	}
 	for _, f := range splitList(*figs) {
-		if err := runFig(f, *scale, *seed, *dataset, *parallel); err != nil {
+		if err := runFig(ctx, f, *scale, *seed, *dataset, *parallel); err != nil {
 			fail(err)
 		}
 	}
 	if *energy {
-		rows, err := harness.ExtEnergy(*scale, *seed, *parallel)
+		rows, err := harness.ExtEnergy(ctx, *scale, *seed, *parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -91,7 +99,7 @@ func main() {
 		}
 	}
 	if *algos {
-		rows, err := harness.ExtAlgorithms(*scale, *seed, *parallel)
+		rows, err := harness.ExtAlgorithms(ctx, *scale, *seed, *parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -116,9 +124,11 @@ func stopProfiles() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return
 	}
-	defer f.Close()
 	runtime.GC() // settle live heap so the profile reflects retained memory
 	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}
 }
@@ -136,8 +146,13 @@ func saveCSV(name string, write func(w *os.File) error) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return write(f)
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	// A failed close loses buffered CSV data; surface it instead of
+	// reporting a clean run with a truncated file.
+	return f.Close()
 }
 
 func splitList(s string) []string {
@@ -179,38 +194,38 @@ func runTable(t string) error {
 	return nil
 }
 
-func runFig(f string, scale float64, seed uint64, dataset string, parallel int) error {
+func runFig(ctx context.Context, f string, scale float64, seed uint64, dataset string, parallel int) error {
 	switch f {
 	case "1":
-		rows, err := harness.Fig1(scale, seed, parallel)
+		rows, err := harness.Fig1(ctx, scale, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.FormatFig1(rows))
 		return saveCSV("fig1.csv", func(w *os.File) error { return harness.Fig1CSV(w, rows) })
 	case "5":
-		rows, err := harness.Fig5(scale, seed, parallel)
+		rows, err := harness.Fig5(ctx, scale, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.FormatFig5(rows))
 		return saveCSV("fig5.csv", func(w *os.File) error { return harness.Fig5CSV(w, rows) })
 	case "6":
-		rows, err := harness.Fig6(scale, seed, parallel)
+		rows, err := harness.Fig6(ctx, scale, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.FormatFig6(rows))
 		return saveCSV("fig6.csv", func(w *os.File) error { return harness.Fig6CSV(w, rows) })
 	case "7":
-		rows, err := harness.Fig7(scale, seed, parallel)
+		rows, err := harness.Fig7(ctx, scale, seed, parallel)
 		if err != nil {
 			return err
 		}
 		fmt.Println(harness.FormatFig7(rows))
 		return saveCSV("fig7.csv", func(w *os.File) error { return harness.Fig7CSV(w, rows) })
 	case "8":
-		s, err := harness.Fig8(dataset, scale, seed)
+		s, err := harness.Fig8(ctx, dataset, scale, seed)
 		if err != nil {
 			return err
 		}
@@ -219,7 +234,7 @@ func runFig(f string, scale float64, seed uint64, dataset string, parallel int) 
 		fmt.Printf("straggler tail (time after 90%% done): %.1f%% of run\n\n", 100*s.StragglerTail(0.9))
 		return saveCSV("fig8.csv", func(w *os.File) error { return harness.Fig8CSV(w, s) })
 	case "9":
-		rows, err := harness.Fig9(scale, seed, parallel)
+		rows, err := harness.Fig9(ctx, scale, seed, parallel)
 		if err != nil {
 			return err
 		}

@@ -12,11 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"flashwalker/internal/core"
+	"flashwalker/internal/errs"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/metrics"
@@ -68,30 +73,61 @@ func main() {
 	}
 	rc.Spec = spec
 
+	var traceFile *os.File
+	var tw *trace.Writer
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
-		tw := trace.NewWriter(f)
+		traceFile = f
+		tw = trace.NewWriter(f)
 		rc.Tracer = tw
-		defer func() {
-			if tw.Err() != nil {
-				fmt.Fprintln(os.Stderr, "flashwalker: trace write:", tw.Err())
-			}
-		}()
 	}
+
+	// Ctrl-C / SIGTERM cancels at the next event boundary; the partial
+	// result is printed before exiting non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	e, err := core.NewEngine(g, rc)
 	if err != nil {
 		fail(err)
 	}
-	res, err := e.Run()
+	res, err := e.RunContext(ctx)
+	if res != nil {
+		if err != nil {
+			fmt.Println("run canceled; partial result:")
+		}
+		printResult(res)
+	}
+	if cerr := closeTrace(traceFile, tw); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
+		if errors.Is(err, errs.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "flashwalker:", err)
+			os.Exit(130)
+		}
 		fail(err)
 	}
-	printResult(res)
+}
+
+// closeTrace flushes and closes the trace output, reporting either the
+// writer's deferred encode error or the file close error — both used to
+// be silently dropped, leaving truncated traces looking complete.
+func closeTrace(f *os.File, tw *trace.Writer) error {
+	if f == nil {
+		return nil
+	}
+	if err := tw.Err(); err != nil {
+		f.Close()
+		return fmt.Errorf("trace write: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace close: %w", err)
+	}
+	return nil
 }
 
 func parseSpec(kind string, length uint32, stopProb float64) (walk.Spec, error) {

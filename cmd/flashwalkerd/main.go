@@ -1,0 +1,87 @@
+// Command flashwalkerd serves the walk service: an HTTP/JSON API that
+// runs FlashWalker and GraphWalker-baseline simulations as managed jobs
+// with live progress, cooperative cancellation, and a bounded queue.
+//
+// Usage:
+//
+//	flashwalkerd [-addr :8080] [-workers 2] [-queue 16]
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/jobs              {"graph":"TT-S","num_walks":1000,"seed":1}
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status with live progress
+//	POST /v1/jobs/{id}/cancel  cancel (running jobs keep a partial result)
+//	GET  /v1/graphs            registered graphs
+//	POST /v1/graphs            {"name":"my-graph","path":"g.bin"}
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, running jobs are
+// canceled at their next checkpoint, and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flashwalker/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent jobs")
+	queue := flag.Int("queue", 16, "bounded job queue depth")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue); err != nil {
+		fmt.Fprintln(os.Stderr, "flashwalkerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m := service.NewManager(service.NewRegistry(), service.Config{
+		Workers: workers, QueueDepth: queue,
+	})
+	defer m.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(m),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("flashwalkerd: listening on %s (%d workers, queue %d)\n", addr, workers, queue)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("flashwalkerd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -49,6 +49,10 @@ func main() {
 				Weighted: *weighted, Seed: *seed,
 			})
 		case "uniform":
+			if *weighted {
+				err = fmt.Errorf("-weighted is not supported by the uniform generator")
+				break
+			}
 			g, err = graph.Uniform(*v, *e, *seed)
 		default:
 			err = fmt.Errorf("unknown generator %q", *kind)

@@ -8,11 +8,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"flashwalker/internal/baseline"
+	"flashwalker/internal/errs"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/metrics"
@@ -56,11 +61,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := e.Run()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := e.RunContext(ctx)
 	if err != nil {
+		if res != nil && errors.Is(err, errs.ErrCanceled) {
+			fmt.Println("run canceled; partial result:")
+			printResult(res)
+			fmt.Fprintln(os.Stderr, "graphwalker:", err)
+			os.Exit(130)
+		}
 		fail(err)
 	}
+	printResult(res)
+}
 
+func printResult(res *baseline.Result) {
 	fmt.Printf("simulated time  %v\n", res.Time)
 	fmt.Printf("walks           %d started, %d completed, %d dead-ended\n",
 		res.Started, res.Completed, res.DeadEnded)
@@ -70,7 +86,9 @@ func main() {
 		res.WalkSpills, metrics.FormatBytes(res.WalkSpillBytes), metrics.FormatBytes(res.WalkLoadBytes))
 	fmt.Printf("iterations      %d\n", res.Iterations)
 	fmt.Printf("PCIe traffic    %s\n", metrics.FormatBytes(res.Flash.HostBytes))
-	fmt.Printf("time breakdown (component busy time):\n%s", res.Breakdown.String())
+	if res.Breakdown != nil {
+		fmt.Printf("time breakdown (component busy time):\n%s", res.Breakdown.String())
+	}
 }
 
 func fail(err error) {

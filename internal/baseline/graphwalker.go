@@ -19,8 +19,10 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
+	"flashwalker/internal/errs"
 	"flashwalker/internal/flash"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/metrics"
@@ -52,7 +54,36 @@ type Config struct {
 	// to model a strictly serial load-then-update loop.
 	Prefetch bool
 	Seed     uint64
+	// OnProgress, when non-nil, receives live counter snapshots from the
+	// simulation goroutine at checkpoint boundaries during RunContext and
+	// once more when the run ends.
+	OnProgress func(Progress)
+	// CheckpointEvery is the event interval between cancellation checks and
+	// progress snapshots; 0 uses DefaultCheckpointEvery.
+	CheckpointEvery uint64
 }
+
+// DefaultCheckpointEvery is the default event interval between cooperative
+// cancellation checks during RunContext. The baseline's events are much
+// coarser than FlashWalker's (one per page read or CPU batch), so the
+// interval is shorter.
+const DefaultCheckpointEvery = 256
+
+// Progress is a consistent mid-run snapshot of the baseline's headline
+// counters, taken at an event boundary.
+type Progress struct {
+	Now        sim.Time
+	Events     uint64
+	Started    int
+	Completed  int
+	DeadEnded  int
+	Hops       uint64
+	BlockLoads uint64
+	Iterations uint64
+}
+
+// WalksFinished reports completed + dead-ended walks at the snapshot.
+func (p Progress) WalksFinished() int { return p.Completed + p.DeadEnded }
 
 // Default returns a configuration matching the paper's host (8 cores) with
 // memory left for the caller to scale.
@@ -70,13 +101,13 @@ func Default() Config {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.MemoryBytes <= 0 || c.WalkMemBytes <= 0 || c.BlockBytes <= 0 {
-		return fmt.Errorf("baseline: non-positive capacity %+v", c)
+		return fmt.Errorf("baseline: non-positive capacity: %w", errs.ErrInvalidConfig)
 	}
 	if c.IDBytes != 4 && c.IDBytes != 8 {
-		return fmt.Errorf("baseline: IDBytes %d", c.IDBytes)
+		return fmt.Errorf("baseline: IDBytes %d: %w", c.IDBytes, errs.ErrInvalidConfig)
 	}
 	if c.CPUHopTime <= 0 || c.Threads <= 0 {
-		return fmt.Errorf("baseline: non-positive CPU parameters")
+		return fmt.Errorf("baseline: non-positive CPU parameters: %w", errs.ErrInvalidConfig)
 	}
 	return nil
 }
@@ -167,7 +198,7 @@ func NewWithSSD(g *graph.Graph, cfg Config, ssdCfg flash.Config, spec walk.Spec,
 		return nil, err
 	}
 	if numWalks <= 0 {
-		return nil, fmt.Errorf("baseline: numWalks %d <= 0", numWalks)
+		return nil, fmt.Errorf("baseline: numWalks %d <= 0: %w", numWalks, errs.ErrInvalidConfig)
 	}
 	part, err := partition.Partition(g, partition.Config{
 		BlockBytes:            cfg.BlockBytes,
@@ -288,14 +319,65 @@ func (e *Engine) writePages(pages int) sim.Time {
 }
 
 // Run executes the simulation and returns the result.
+//
+// Deprecated: use RunContext, which supports cancellation and live
+// progress. Run is RunContext with a background context.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// progress snapshots the engine's headline counters; only called from the
+// simulation goroutine at event boundaries.
+func (e *Engine) progress() Progress {
+	return Progress{
+		Now:        e.eng.Now(),
+		Events:     e.eng.Processed(),
+		Started:    e.res.Started,
+		Completed:  e.res.Completed,
+		DeadEnded:  e.res.DeadEnded,
+		Hops:       e.res.Hops,
+		BlockLoads: e.res.BlockLoads,
+		Iterations: e.res.Iterations,
+	}
+}
+
+// RunContext executes the simulation until every walk finishes or ctx is
+// canceled. As with core.Engine.RunContext, cancellation is cooperative and
+// checked only between events, so uncanceled runs are bit-identical to Run.
+// On cancellation the partial Result is returned with an error satisfying
+// errors.Is(err, errs.ErrCanceled).
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil || e.cfg.OnProgress != nil {
+		every := e.cfg.CheckpointEvery
+		if every == 0 {
+			every = DefaultCheckpointEvery
+		}
+		e.eng.SetCheckpoint(every, func() bool {
+			if e.cfg.OnProgress != nil {
+				e.cfg.OnProgress(e.progress())
+			}
+			return ctx.Err() == nil
+		})
+		defer e.eng.ClearCheckpoint()
+	}
 	e.eng.After(0, e.iterate)
 	e.eng.Run()
+	e.res.Time = e.eng.Now()
+	e.res.Flash = e.ssd.Counters
+	if e.cfg.OnProgress != nil {
+		e.cfg.OnProgress(e.progress())
+	}
+	if e.eng.Halted() {
+		return &e.res, fmt.Errorf("baseline: run canceled at %v: %w", e.res.Time, &errs.Canceled{
+			Op: "baseline", Finished: e.res.WalksFinished(), Total: e.res.Started, Cause: ctx.Err(),
+		})
+	}
 	if e.remaining != 0 {
 		return nil, fmt.Errorf("baseline: %d walks unfinished", e.remaining)
 	}
-	e.res.Time = e.eng.Now()
-	e.res.Flash = e.ssd.Counters
 	return &e.res, nil
 }
 

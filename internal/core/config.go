@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"flashwalker/internal/errs"
 	"flashwalker/internal/sim"
 )
 
@@ -192,7 +193,7 @@ func (c Config) Validate() error {
 		{"LoadIdleDelay", c.LoadIdleDelay},
 	} {
 		if nt.v <= 0 {
-			return fmt.Errorf("core: %s must be positive", nt.name)
+			return fmt.Errorf("core: %s must be positive: %w", nt.name, errs.ErrInvalidConfig)
 		}
 	}
 	type namedInt struct {
@@ -214,7 +215,7 @@ func (c Config) Validate() error {
 		{"ScoreUpdateEveryM", c.ScoreUpdateEveryM},
 	} {
 		if ni.v <= 0 {
-			return fmt.Errorf("core: %s must be positive", ni.name)
+			return fmt.Errorf("core: %s must be positive: %w", ni.name, errs.ErrInvalidConfig)
 		}
 	}
 	type namedBytes struct {
@@ -239,11 +240,11 @@ func (c Config) Validate() error {
 		{"CommandBytes", c.CommandBytes},
 	} {
 		if nb.v <= 0 {
-			return fmt.Errorf("core: %s must be positive", nb.name)
+			return fmt.Errorf("core: %s must be positive: %w", nb.name, errs.ErrInvalidConfig)
 		}
 	}
 	if c.Alpha <= 0 || c.Beta <= 0 {
-		return fmt.Errorf("core: Alpha/Beta must be positive")
+		return fmt.Errorf("core: Alpha/Beta must be positive: %w", errs.ErrInvalidConfig)
 	}
 	return nil
 }

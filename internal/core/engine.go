@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"flashwalker/internal/bloom"
 	"flashwalker/internal/dram"
+	"flashwalker/internal/errs"
 	"flashwalker/internal/flash"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/metrics"
@@ -91,7 +93,41 @@ type RunConfig struct {
 	// binary search. The tables double the per-edge metadata stored with
 	// each subgraph (see walk.GraphAlias.SizeBytes).
 	UseAliasSampling bool
+	// OnProgress, when non-nil, receives live counter snapshots from the
+	// simulation goroutine at checkpoint boundaries (every CheckpointEvery
+	// events) and once more when the run ends. The callback must be fast
+	// and must not call back into the engine.
+	OnProgress func(Progress)
+	// CheckpointEvery is the event interval between cancellation checks and
+	// progress snapshots; 0 uses DefaultCheckpointEvery. Checkpoints run
+	// strictly between simulated events, so they never perturb the
+	// timeline.
+	CheckpointEvery uint64
 }
+
+// DefaultCheckpointEvery is the default event interval between cooperative
+// cancellation checks and progress snapshots during RunContext.
+const DefaultCheckpointEvery = 4096
+
+// Progress is a consistent mid-run snapshot of an engine's headline
+// counters, taken at an event boundary.
+type Progress struct {
+	// Now is the simulated clock at the snapshot.
+	Now sim.Time
+	// Events is the number of simulation events processed so far.
+	Events uint64
+	// Started / Completed / DeadEnded mirror the Result fields.
+	Started   int
+	Completed int
+	DeadEnded int
+	// Hops is the number of walk updates performed so far.
+	Hops uint64
+	// PartitionSwitches counts partition advances so far.
+	PartitionSwitches uint64
+}
+
+// WalksFinished reports completed + dead-ended walks at the snapshot.
+func (p Progress) WalksFinished() int { return p.Completed + p.DeadEnded }
 
 // Engine is one FlashWalker simulation instance.
 type Engine struct {
@@ -172,7 +208,24 @@ type Engine struct {
 	maxSimTime sim.Time
 	tracer     trace.Tracer
 
+	onProgress func(Progress)
+	checkEvery uint64
+
 	rootRNG *rng.RNG
+}
+
+// progress snapshots the engine's headline counters. Only called from the
+// simulation goroutine at event boundaries, so the reads are consistent.
+func (e *Engine) progress() Progress {
+	return Progress{
+		Now:               e.eng.Now(),
+		Events:            e.eng.Processed(),
+		Started:           e.res.Started,
+		Completed:         e.res.Completed,
+		DeadEnded:         e.res.DeadEnded,
+		Hops:              e.res.Hops,
+		PartitionSwitches: e.res.PartitionSwitches,
+	}
 }
 
 // emit sends a trace event if tracing is enabled.
@@ -192,7 +245,7 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 		return nil, err
 	}
 	if rc.NumWalks <= 0 {
-		return nil, fmt.Errorf("core: NumWalks %d <= 0", rc.NumWalks)
+		return nil, fmt.Errorf("core: NumWalks %d <= 0: %w", rc.NumWalks, errs.ErrInvalidConfig)
 	}
 	part, err := partition.Partition(g, rc.PartCfg)
 	if err != nil {
@@ -240,7 +293,12 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 		maxSimTime: rc.MaxSimTime,
 		tracer:     rc.Tracer,
 		audit:      rc.Audit,
+		onProgress: rc.OnProgress,
+		checkEvery: rc.CheckpointEvery,
 		rootRNG:    rng.New(rc.Cfg.Seed),
+	}
+	if e.checkEvery == 0 {
+		e.checkEvery = DefaultCheckpointEvery
 	}
 
 	for i := range e.blockPos {
@@ -267,7 +325,7 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 	}
 	if rc.UseAliasSampling {
 		if rc.Spec.Kind != walk.Biased {
-			return nil, fmt.Errorf("core: alias sampling only applies to biased walks")
+			return nil, fmt.Errorf("core: alias sampling only applies to biased walks: %w", errs.ErrInvalidConfig)
 		}
 		ga, err := walk.NewGraphAlias(g)
 		if err != nil {
@@ -289,7 +347,7 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 	if len(rc.Starts) > 0 {
 		for _, v := range rc.Starts {
 			if v >= g.NumVertices() {
-				return nil, fmt.Errorf("core: start vertex %d out of range", v)
+				return nil, fmt.Errorf("core: start vertex %d out of range: %w", v, errs.ErrInvalidConfig)
 			}
 		}
 		e.seedWalksFrom(rc.Starts, rc.NumWalks)
@@ -300,7 +358,33 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 }
 
 // Run executes the simulation to completion and returns the result.
+//
+// Deprecated: use RunContext, which supports cancellation and live
+// progress. Run is RunContext with a background context.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext executes the simulation until every walk finishes or ctx is
+// canceled. Cancellation is cooperative: the event kernel checks ctx at
+// checkpoint boundaries (every CheckpointEvery events, never mid-event), so
+// the simulated timeline of an uncanceled run is bit-identical to Run. On
+// cancellation it returns the partial Result accumulated so far together
+// with an error satisfying errors.Is(err, errs.ErrCanceled); the Result's
+// counters are a consistent snapshot at the halting event boundary.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil || e.onProgress != nil {
+		e.eng.SetCheckpoint(e.checkEvery, func() bool {
+			if e.onProgress != nil {
+				e.onProgress(e.progress())
+			}
+			return ctx.Err() == nil
+		})
+		defer e.eng.ClearCheckpoint()
+	}
 	e.preloadHotSubgraphs()
 	for _, ca := range e.chans {
 		ca.scheduleTick()
@@ -310,18 +394,11 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	if e.maxSimTime > 0 {
 		e.eng.RunUntil(e.maxSimTime)
-		if e.remaining != 0 && e.failure == nil {
-			return nil, fmt.Errorf("core: MaxSimTime %v exceeded with %d walks unfinished", e.maxSimTime, e.remaining)
-		}
 	} else {
 		e.eng.Run()
 	}
 	if e.failure != nil {
 		return nil, e.failure
-	}
-	if e.remaining != 0 {
-		return nil, fmt.Errorf("core: simulation drained with %d walks unfinished (activeCur=%d, partition=%d)",
-			e.remaining, e.activeCur, e.curPart)
 	}
 	e.res.Time = e.eng.Now()
 	e.res.Flash = e.ssd.Counters
@@ -329,6 +406,21 @@ func (e *Engine) Run() (*Result, error) {
 	e.res.DRAMWriteBytes = e.dr.WriteBytes
 	e.res.DRAMPortUtil = e.dr.Utilization()
 	e.collectTierStats()
+	if e.onProgress != nil {
+		e.onProgress(e.progress())
+	}
+	if e.eng.Halted() {
+		return &e.res, fmt.Errorf("core: run canceled at %v: %w", e.res.Time, &errs.Canceled{
+			Op: "core", Finished: e.res.WalksFinished(), Total: e.res.Started, Cause: ctx.Err(),
+		})
+	}
+	if e.remaining != 0 {
+		if e.maxSimTime > 0 {
+			return nil, fmt.Errorf("core: MaxSimTime %v exceeded with %d walks unfinished", e.maxSimTime, e.remaining)
+		}
+		return nil, fmt.Errorf("core: simulation drained with %d walks unfinished (activeCur=%d, partition=%d)",
+			e.remaining, e.activeCur, e.curPart)
+	}
 	return &e.res, nil
 }
 

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"flashwalker/internal/errs"
+	"flashwalker/internal/sim"
+)
+
+// Every Validate rejection must classify as ErrInvalidConfig so callers
+// can distinguish bad input from simulation failures without string
+// matching.
+func TestConfigValidateWrapsInvalidConfig(t *testing.T) {
+	cases := map[string]func(*Config){
+		"zero cycle":    func(c *Config) { c.ChipUpdaterCycle = 0 },
+		"zero units":    func(c *Config) { c.BoardGuiders = 0 },
+		"zero buffer":   func(c *Config) { c.ChipSubgraphBufBytes = 0 },
+		"bad alpha":     func(c *Config) { c.Alpha = -1 },
+		"negative time": func(c *Config) { c.LoadIdleDelay = -sim.Nanosecond },
+	}
+	for name, mutate := range cases {
+		cfg := Default()
+		mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, errs.ErrInvalidConfig) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidConfig", name, err)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

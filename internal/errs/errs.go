@@ -1,0 +1,49 @@
+// Package errs defines the typed error taxonomy shared by every layer of
+// the repository. Callers classify failures with errors.Is against these
+// sentinels instead of matching message strings; producing packages wrap
+// them with %w and add their own context.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCanceled marks a run halted by context cancellation. The engines
+	// return it alongside a partial Result whose counters are a consistent
+	// snapshot taken at an event boundary.
+	ErrCanceled = errors.New("run canceled")
+
+	// ErrInvalidConfig marks a configuration or workload parameter rejected
+	// by validation (non-positive capacity, bad generator probabilities,
+	// out-of-range start vertex, ...).
+	ErrInvalidConfig = errors.New("invalid configuration")
+
+	// ErrUnknownDataset marks a lookup of a dataset or graph name that is
+	// not registered.
+	ErrUnknownDataset = errors.New("unknown dataset")
+)
+
+// Canceled is the structured form of a cancellation: which engine halted,
+// how far it got, and the context error that triggered the halt. It
+// unwraps to both ErrCanceled and Cause, so errors.Is(err, ErrCanceled)
+// and errors.Is(err, context.Canceled) both match, and
+// errors.As(err, &*Canceled) recovers the partial-progress detail.
+type Canceled struct {
+	// Op names the halted engine ("core", "baseline", "walk").
+	Op string
+	// Finished and Total count walks done and requested at the halt.
+	Finished, Total int
+	// Cause is the context error (context.Canceled or DeadlineExceeded).
+	Cause error
+}
+
+func (c *Canceled) Error() string {
+	return fmt.Sprintf("%s: run canceled with %d of %d walks finished: %v",
+		c.Op, c.Finished, c.Total, c.Cause)
+}
+
+// Unwrap exposes both the ErrCanceled sentinel and the context cause to
+// the errors.Is/errors.As traversal.
+func (c *Canceled) Unwrap() []error { return []error{ErrCanceled, c.Cause} }

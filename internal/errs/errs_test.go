@@ -1,0 +1,41 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCanceledUnwrapsSentinelAndCause(t *testing.T) {
+	c := &Canceled{Op: "core", Finished: 3, Total: 10, Cause: context.Canceled}
+	if !errors.Is(c, ErrCanceled) {
+		t.Error("Canceled does not match ErrCanceled")
+	}
+	if !errors.Is(c, context.Canceled) {
+		t.Error("Canceled does not match its context cause")
+	}
+	// Wrapping with extra context must not break classification.
+	wrapped := fmt.Errorf("outer layer: %w", c)
+	if !errors.Is(wrapped, ErrCanceled) {
+		t.Error("wrapped Canceled does not match ErrCanceled")
+	}
+	var got *Canceled
+	if !errors.As(wrapped, &got) {
+		t.Fatal("errors.As failed to recover *Canceled")
+	}
+	if got.Op != "core" || got.Finished != 3 || got.Total != 10 {
+		t.Errorf("errors.As recovered wrong detail: %+v", got)
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{ErrCanceled, ErrInvalidConfig, ErrUnknownDataset}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("sentinel %d vs %d: unexpected Is result", i, j)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"flashwalker/internal/errs"
 	"flashwalker/internal/rng"
 )
 
@@ -39,11 +40,11 @@ func DefaultRMAT(v, e uint64, seed uint64) RMATConfig {
 // RMAT generates a directed graph with the recursive-matrix model.
 func RMAT(cfg RMATConfig) (*Graph, error) {
 	if cfg.NumVertices == 0 {
-		return nil, fmt.Errorf("graph: RMAT with zero vertices")
+		return nil, fmt.Errorf("graph: RMAT with zero vertices: %w", errs.ErrInvalidConfig)
 	}
 	sum := cfg.A + cfg.B + cfg.C + cfg.D
 	if sum < 0.99 || sum > 1.01 {
-		return nil, fmt.Errorf("graph: RMAT probabilities sum to %v, want 1", sum)
+		return nil, fmt.Errorf("graph: RMAT probabilities sum to %v, want 1: %w", sum, errs.ErrInvalidConfig)
 	}
 	levels := 0
 	pow := uint64(1)
@@ -120,7 +121,7 @@ type PowerLawConfig struct {
 // PowerLaw generates a directed power-law graph.
 func PowerLaw(cfg PowerLawConfig) (*Graph, error) {
 	if cfg.NumVertices == 0 {
-		return nil, fmt.Errorf("graph: PowerLaw with zero vertices")
+		return nil, fmt.Errorf("graph: PowerLaw with zero vertices: %w", errs.ErrInvalidConfig)
 	}
 	if cfg.Alpha <= 0 {
 		cfg.Alpha = 0.7
@@ -168,7 +169,7 @@ func PowerLaw(cfg PowerLawConfig) (*Graph, error) {
 // numEdges uniformly random edges.
 func Uniform(numVertices, numEdges, seed uint64) (*Graph, error) {
 	if numVertices == 0 {
-		return nil, fmt.Errorf("graph: Uniform with zero vertices")
+		return nil, fmt.Errorf("graph: Uniform with zero vertices: %w", errs.ErrInvalidConfig)
 	}
 	r := rng.New(seed)
 	b := NewBuilder(numVertices)

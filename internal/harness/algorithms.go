@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"flashwalker/internal/core"
@@ -29,7 +30,7 @@ type AlgorithmRow struct {
 // Friendster-shaped graph and reports the relative cost of each sampling
 // scheme. The graph is generated once up front; the four algorithm runs
 // then sweep as independent grid points on workers goroutines.
-func ExtAlgorithms(scale float64, seed uint64, workers int) ([]AlgorithmRow, error) {
+func ExtAlgorithms(ctx context.Context, scale float64, seed uint64, workers int) ([]AlgorithmRow, error) {
 	// A weighted FS-S-shaped graph (biased walks need weights; the
 	// unweighted kinds ignore them).
 	cfg := graph.RMATConfig{
@@ -54,7 +55,7 @@ func ExtAlgorithms(scale float64, seed uint64, workers int) ([]AlgorithmRow, err
 		{"second-order (p=0.5,q=2)", walk.Spec{Kind: walk.SecondOrder, Length: WalkLength, P: 0.5, Q: 2}},
 	}
 	rows := make([]AlgorithmRow, len(specs))
-	err = sweep(workers, len(specs), func(i int) error {
+	err = sweep(ctx, workers, len(specs), func(i int) error {
 		s := specs[i]
 		rc := FlashWalkerConfig(d, core.AllOptions(), walks, seed)
 		rc.Spec = s.spec
@@ -62,7 +63,7 @@ func ExtAlgorithms(scale float64, seed uint64, workers int) ([]AlgorithmRow, err
 		if err != nil {
 			return fmt.Errorf("algorithms %s: %w", s.name, err)
 		}
-		res, err := e.Run()
+		res, err := e.RunContext(ctx)
 		if err != nil {
 			return fmt.Errorf("algorithms %s: %w", s.name, err)
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"flashwalker/internal/errs"
 	"flashwalker/internal/graph"
 )
 
@@ -166,7 +167,7 @@ func DatasetByName(name string) (Dataset, error) {
 			return d, nil
 		}
 	}
-	return Dataset{}, fmt.Errorf("harness: unknown dataset %q", name)
+	return Dataset{}, fmt.Errorf("harness: unknown dataset %q: %w", name, errs.ErrUnknownDataset)
 }
 
 // Scaled memory capacities for GraphWalker (paper: 4/8/16 GB at full

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"flashwalker/internal/core"
@@ -23,18 +24,18 @@ type EnergyRow struct {
 // ExtEnergy runs both engines on every dataset at the default walk counts
 // and converts their traffic counters into joule estimates. One dataset
 // per grid point, swept on workers goroutines.
-func ExtEnergy(scale float64, seed uint64, workers int) ([]EnergyRow, error) {
+func ExtEnergy(ctx context.Context, scale float64, seed uint64, workers int) ([]EnergyRow, error) {
 	ec := core.DefaultEnergy()
 	ds := Datasets()
 	rows := make([]EnergyRow, len(ds))
-	err := sweep(workers, len(ds), func(i int) error {
+	err := sweep(ctx, workers, len(ds), func(i int) error {
 		d := ds[i]
 		walks := scaleWalks(d.DefaultWalks, scale)
-		fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
+		fw, err := RunFlashWalker(ctx, d, core.AllOptions(), walks, seed, 0)
 		if err != nil {
 			return err
 		}
-		gw, err := RunGraphWalker(d, GWMem8GB, walks, seed)
+		gw, err := RunGraphWalker(ctx, d, GWMem8GB, walks, seed)
 		if err != nil {
 			return err
 		}

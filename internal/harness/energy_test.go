@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestExtEnergy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := ExtEnergy(testScale, 1, 2)
+	rows, err := ExtEnergy(context.Background(), testScale, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestExtAlgorithms(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := ExtAlgorithms(testScale, 1, 2)
+	rows, err := ExtAlgorithms(context.Background(), testScale, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

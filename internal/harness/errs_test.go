@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flashwalker/internal/errs"
+)
+
+func TestDatasetByNameWrapsUnknownDataset(t *testing.T) {
+	if _, err := DatasetByName("no-such-graph"); !errors.Is(err, errs.ErrUnknownDataset) {
+		t.Errorf("error %v does not wrap ErrUnknownDataset", err)
+	}
+	if _, err := DatasetByName("TT-S"); err != nil {
+		t.Errorf("known dataset rejected: %v", err)
+	}
+}
+
+func TestSweepCancellationWrapsErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := sweep(ctx, 1, 4, func(i int) error { return nil })
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Errorf("serial sweep: error %v does not wrap ErrCanceled", err)
+	}
+	err = sweep(ctx, 4, 8, func(i int) error { return nil })
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Errorf("parallel sweep: error %v does not wrap ErrCanceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -47,16 +48,16 @@ type Fig1Row struct {
 // Fig1 reproduces Figure 1: GraphWalker's execution time on CW is
 // dominated by loading graph structure from the SSD. Grid points run on
 // workers goroutines (Workers semantics).
-func Fig1(scale float64, seed uint64, workers int) ([]Fig1Row, error) {
+func Fig1(ctx context.Context, scale float64, seed uint64, workers int) ([]Fig1Row, error) {
 	d, err := DatasetByName("CW-S")
 	if err != nil {
 		return nil, err
 	}
 	grid := walkSweep(d, scale)
 	rows := make([]Fig1Row, len(grid))
-	err = sweep(workers, len(grid), func(i int) error {
+	err = sweep(ctx, workers, len(grid), func(i int) error {
 		walks := grid[i]
-		res, err := RunGraphWalker(d, GWMem8GB, walks, seed)
+		res, err := RunGraphWalker(ctx, d, GWMem8GB, walks, seed)
 		if err != nil {
 			return err
 		}
@@ -106,7 +107,7 @@ type Fig5Row struct {
 // Fig5 reproduces Figure 5: FlashWalker speedup over GraphWalker across
 // datasets and walk counts. The (dataset, walks) grid is flattened in the
 // paper's order and swept on workers goroutines.
-func Fig5(scale float64, seed uint64, workers int) ([]Fig5Row, error) {
+func Fig5(ctx context.Context, scale float64, seed uint64, workers int) ([]Fig5Row, error) {
 	type point struct {
 		d     Dataset
 		walks int
@@ -118,13 +119,13 @@ func Fig5(scale float64, seed uint64, workers int) ([]Fig5Row, error) {
 		}
 	}
 	rows := make([]Fig5Row, len(grid))
-	err := sweep(workers, len(grid), func(i int) error {
+	err := sweep(ctx, workers, len(grid), func(i int) error {
 		d, walks := grid[i].d, grid[i].walks
-		fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
+		fw, err := RunFlashWalker(ctx, d, core.AllOptions(), walks, seed, 0)
 		if err != nil {
 			return fmt.Errorf("fig5 %s/%d flashwalker: %w", d.Name, walks, err)
 		}
-		gw, err := RunGraphWalker(d, GWMem8GB, walks, seed)
+		gw, err := RunGraphWalker(ctx, d, GWMem8GB, walks, seed)
 		if err != nil {
 			return fmt.Errorf("fig5 %s/%d graphwalker: %w", d.Name, walks, err)
 		}
@@ -192,17 +193,17 @@ type Fig6Row struct {
 
 // Fig6 reproduces Figure 6 at the paper's fixed walk counts, one dataset
 // per grid point.
-func Fig6(scale float64, seed uint64, workers int) ([]Fig6Row, error) {
+func Fig6(ctx context.Context, scale float64, seed uint64, workers int) ([]Fig6Row, error) {
 	ds := Datasets()
 	rows := make([]Fig6Row, len(ds))
-	err := sweep(workers, len(ds), func(i int) error {
+	err := sweep(ctx, workers, len(ds), func(i int) error {
 		d := ds[i]
 		walks := scaleWalks(d.DefaultWalks, scale)
-		fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
+		fw, err := RunFlashWalker(ctx, d, core.AllOptions(), walks, seed, 0)
 		if err != nil {
 			return err
 		}
-		gw, err := RunGraphWalker(d, GWMem8GB, walks, seed)
+		gw, err := RunGraphWalker(ctx, d, GWMem8GB, walks, seed)
 		if err != nil {
 			return err
 		}
@@ -255,7 +256,7 @@ type Fig7Row struct {
 // 4/8/16 GB (scaled) host memory; the FlashWalker configuration is fixed.
 // Each grid point is one dataset (the fixed FlashWalker run is shared by
 // its three memory points), so rows land at i*3+j.
-func Fig7(scale float64, seed uint64, workers int) ([]Fig7Row, error) {
+func Fig7(ctx context.Context, scale float64, seed uint64, workers int) ([]Fig7Row, error) {
 	mems := []struct {
 		label string
 		bytes int64
@@ -264,15 +265,15 @@ func Fig7(scale float64, seed uint64, workers int) ([]Fig7Row, error) {
 	}
 	ds := Datasets()
 	rows := make([]Fig7Row, len(ds)*len(mems))
-	err := sweep(workers, len(ds), func(i int) error {
+	err := sweep(ctx, workers, len(ds), func(i int) error {
 		d := ds[i]
 		walks := scaleWalks(d.DefaultWalks, scale)
-		fw, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
+		fw, err := RunFlashWalker(ctx, d, core.AllOptions(), walks, seed, 0)
 		if err != nil {
 			return err
 		}
 		for j, m := range mems {
-			gw, err := RunGraphWalker(d, m.bytes, walks, seed)
+			gw, err := RunGraphWalker(ctx, d, m.bytes, walks, seed)
 			if err != nil {
 				return err
 			}
@@ -319,13 +320,13 @@ type Fig8Series struct {
 // channel bandwidth, and walk-completion progression. It takes no worker
 // count: its second run derives the bin width from the first run's
 // measured time, so the two runs are inherently sequential.
-func Fig8(datasetName string, scale float64, seed uint64) (*Fig8Series, error) {
+func Fig8(ctx context.Context, datasetName string, scale float64, seed uint64) (*Fig8Series, error) {
 	d, err := DatasetByName(datasetName)
 	if err != nil {
 		return nil, err
 	}
 	walks := scaleWalks(d.DefaultWalks, scale)
-	res, err := RunFlashWalker(d, core.AllOptions(), walks, seed, 0)
+	res, err := RunFlashWalker(ctx, d, core.AllOptions(), walks, seed, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +335,7 @@ func Fig8(datasetName string, scale float64, seed uint64) (*Fig8Series, error) {
 	if bin < sim.Microsecond {
 		bin = sim.Microsecond
 	}
-	res, err = RunFlashWalker(d, core.AllOptions(), walks, seed, bin)
+	res, err = RunFlashWalker(ctx, d, core.AllOptions(), walks, seed, bin)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +401,7 @@ type Fig9Row struct {
 // (dataset, option-set) grid is fully flattened — all 4 ablation runs of a
 // dataset are independent simulations, so they sweep as separate points
 // and the rows are assembled afterwards.
-func Fig9(scale float64, seed uint64, workers int) ([]Fig9Row, error) {
+func Fig9(ctx context.Context, scale float64, seed uint64, workers int) ([]Fig9Row, error) {
 	sets := []core.Options{
 		{},
 		{WalkQuery: true},
@@ -409,11 +410,11 @@ func Fig9(scale float64, seed uint64, workers int) ([]Fig9Row, error) {
 	}
 	ds := Datasets()
 	times := make([]sim.Time, len(ds)*len(sets))
-	err := sweep(workers, len(times), func(i int) error {
+	err := sweep(ctx, workers, len(times), func(i int) error {
 		d := ds[i/len(sets)]
 		set := i % len(sets)
 		walks := scaleWalks(d.DefaultWalks/2, scale)
-		res, err := RunFlashWalker(d, sets[set], walks, seed, 0)
+		res, err := RunFlashWalker(ctx, d, sets[set], walks, seed, 0)
 		if err != nil {
 			return fmt.Errorf("fig9 %s set %d: %w", d.Name, set, err)
 		}

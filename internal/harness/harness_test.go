@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -111,7 +112,7 @@ func TestCustomDataset(t *testing.T) {
 		t.Fatalf("loaded %d edges", loaded.NumEdges())
 	}
 	// The experiment machinery must run on it.
-	res, err := RunFlashWalker(d, core.AllOptions(), 200, 1, 0)
+	res, err := RunFlashWalker(context.Background(), d, core.AllOptions(), 200, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,11 +155,11 @@ func TestWalkSweepMonotone(t *testing.T) {
 
 func TestRunBothEnginesTiny(t *testing.T) {
 	d, _ := DatasetByName("TT-S")
-	fw, err := RunFlashWalker(d, core.AllOptions(), 500, 1, 0)
+	fw, err := RunFlashWalker(context.Background(), d, core.AllOptions(), 500, 1, 0)
 	if err != nil {
 		t.Fatalf("FlashWalker: %v", err)
 	}
-	gw, err := RunGraphWalker(d, GWMem8GB, 500, 1)
+	gw, err := RunGraphWalker(context.Background(), d, GWMem8GB, 500, 1)
 	if err != nil {
 		t.Fatalf("GraphWalker: %v", err)
 	}
@@ -171,7 +172,7 @@ func TestRunBothEnginesTiny(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	rows, err := Fig1(testScale, 1, 2)
+	rows, err := Fig1(context.Background(), testScale, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestFig5TinyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := Fig5(testScale, 1, 0)
+	rows, err := Fig5(context.Background(), testScale, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestFig6Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := Fig6(testScale, 1, 0)
+	rows, err := Fig6(context.Background(), testScale, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestFig7Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := Fig7(testScale, 1, 3)
+	rows, err := Fig7(context.Background(), testScale, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestFig7Tiny(t *testing.T) {
 }
 
 func TestFig8Tiny(t *testing.T) {
-	s, err := Fig8("TT-S", testScale, 1)
+	s, err := Fig8(context.Background(), "TT-S", testScale, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestFig9Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := Fig9(testScale, 1, 0)
+	rows, err := Fig9(context.Background(), testScale, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"flashwalker/internal/baseline"
 	"flashwalker/internal/core"
 	"flashwalker/internal/dram"
@@ -84,8 +86,9 @@ func GraphWalkerConfig(d Dataset, memBytes int64, seed uint64) baseline.Config {
 	}
 }
 
-// RunFlashWalker executes FlashWalker on the dataset.
-func RunFlashWalker(d Dataset, opts core.Options, numWalks int, seed uint64, progressBin sim.Time) (*core.Result, error) {
+// RunFlashWalker executes FlashWalker on the dataset. Canceling ctx halts
+// the simulation at the next event boundary (see core.Engine.RunContext).
+func RunFlashWalker(ctx context.Context, d Dataset, opts core.Options, numWalks int, seed uint64, progressBin sim.Time) (*core.Result, error) {
 	g, err := d.Graph()
 	if err != nil {
 		return nil, err
@@ -96,12 +99,13 @@ func RunFlashWalker(d Dataset, opts core.Options, numWalks int, seed uint64, pro
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }
 
 // RunGraphWalker executes the baseline on the dataset with the given
-// memory capacity.
-func RunGraphWalker(d Dataset, memBytes int64, numWalks int, seed uint64) (*baseline.Result, error) {
+// memory capacity. Canceling ctx halts the simulation at the next event
+// boundary (see baseline.Engine.RunContext).
+func RunGraphWalker(ctx context.Context, d Dataset, memBytes int64, numWalks int, seed uint64) (*baseline.Result, error) {
 	g, err := d.Graph()
 	if err != nil {
 		return nil, err
@@ -112,5 +116,5 @@ func RunGraphWalker(d Dataset, memBytes int64, numWalks int, seed uint64) (*base
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }

@@ -1,9 +1,13 @@
 package harness
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"flashwalker/internal/errs"
 )
 
 // Every figure of the evaluation is a grid of independent, seed-
@@ -28,20 +32,34 @@ func Workers(n int) int {
 // pre-sized slot for index i and must not touch other indices. All points
 // run even if one fails; the error for the lowest grid index wins, so the
 // reported failure is deterministic too.
-func sweep(workers, n int, fn func(i int) error) error {
+//
+// Canceling ctx stops new points from being claimed; points already in
+// flight finish on their own (their fn is expected to observe the same ctx
+// through the engines' RunContext). A canceled sweep reports an error
+// satisfying errors.Is(err, errs.ErrCanceled).
+func sweep(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	canceled := func(i int) error {
+		return fmt.Errorf("harness: sweep canceled before point %d of %d: %w", i, n, errs.ErrCanceled)
+	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return canceled(i)
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	errs := make([]error, n)
+	errors := make([]error, n)
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -53,12 +71,16 @@ func sweep(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				if ctx.Err() != nil {
+					errors[i] = canceled(i)
+					continue
+				}
+				errors[i] = fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range errors {
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"runtime"
@@ -25,7 +26,7 @@ func TestSweepCoversEveryPoint(t *testing.T) {
 		const n = 50
 		out := make([]int, n)
 		var calls int64
-		err := sweep(workers, n, func(i int) error {
+		err := sweep(context.Background(), workers, n, func(i int) error {
 			atomic.AddInt64(&calls, 1)
 			out[i] = i * i
 			return nil
@@ -50,7 +51,7 @@ func TestSweepDeterministicError(t *testing.T) {
 	// Whatever order the workers hit the failing points in, the error for
 	// the lowest grid index must win.
 	for trial := 0; trial < 10; trial++ {
-		err := sweep(4, 20, func(i int) error {
+		err := sweep(context.Background(), 4, 20, func(i int) error {
 			switch i {
 			case 3:
 				return errLow
@@ -66,7 +67,7 @@ func TestSweepDeterministicError(t *testing.T) {
 }
 
 func TestSweepZeroPoints(t *testing.T) {
-	if err := sweep(8, 0, func(i int) error { t.Fatal("called"); return nil }); err != nil {
+	if err := sweep(context.Background(), 8, 0, func(i int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -76,11 +77,11 @@ func TestSweepZeroPoints(t *testing.T) {
 // deeply equal rows, because every grid point derives its randomness from
 // (seed, point) alone.
 func TestFigParallelMatchesSerial(t *testing.T) {
-	serial, err := Fig1(testScale, 1, 1)
+	serial, err := Fig1(context.Background(), testScale, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig1(testScale, 1, 4)
+	par, err := Fig1(context.Background(), testScale, 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

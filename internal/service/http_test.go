@@ -1,0 +1,246 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flashwalker/internal/graph"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(NewRegistry(), cfg)
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func submitJob(t *testing.T, srv *httptest.Server, spec JobSpec) JobStatus {
+	t.Helper()
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pollJob(t *testing.T, srv *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var st JobStatus
+		if resp := getJSON(t, srv.URL+"/v1/jobs/"+id, &st); resp.StatusCode != http.StatusOK {
+			t.Fatalf("get %s: %d", id, resp.StatusCode)
+		}
+		switch st.State {
+		case StateDone, StateCanceled, StateFailed:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServiceEndToEnd is the acceptance scenario: two concurrent jobs run
+// to completion while a third is canceled mid-run and keeps a partial
+// result; /healthz and /metrics respond throughout.
+func TestServiceEndToEnd(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 3})
+
+	if resp := getJSON(t, srv.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	a := submitJob(t, srv, JobSpec{Graph: "TT-S", NumWalks: 500, Seed: 1})
+	b := submitJob(t, srv, JobSpec{Kind: KindGraphWalker, Graph: "TT-S", NumWalks: 500, Seed: 2})
+	c := submitJob(t, srv, JobSpec{Graph: "TT-S", NumWalks: 100_000, Seed: 3, CheckpointEvery: 64})
+
+	// Wait until the long job reports progress, then cancel it mid-run.
+	jc, err := m.Get(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for jc.progress.Load() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("long job never reported progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/jobs/"+c.ID+"/cancel", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, body)
+	}
+
+	stA, stB, stC := pollJob(t, srv, a.ID), pollJob(t, srv, b.ID), pollJob(t, srv, c.ID)
+	if stA.State != StateDone || stA.Result.Completed+stA.Result.DeadEnded != 500 {
+		t.Errorf("job A: %+v", stA)
+	}
+	if stB.State != StateDone || stB.Result.Completed+stB.Result.DeadEnded != 500 {
+		t.Errorf("job B: %+v", stB)
+	}
+	if stC.State != StateCanceled {
+		t.Fatalf("job C state %s (error %q)", stC.State, stC.Error)
+	}
+	if stC.Result == nil || !stC.Result.Partial {
+		t.Fatalf("job C has no partial result: %+v", stC.Result)
+	}
+	if fin := stC.Result.Completed + stC.Result.DeadEnded; fin >= 100_000 {
+		t.Errorf("canceled job claims %d finished walks", fin)
+	}
+	if !strings.Contains(stC.Error, "canceled") {
+		t.Errorf("job C error %q does not mention cancellation", stC.Error)
+	}
+
+	var jobs []JobStatus
+	getJSON(t, srv.URL+"/v1/jobs", &jobs)
+	if len(jobs) != 3 {
+		t.Errorf("listed %d jobs, want 3", len(jobs))
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metrics := buf.String()
+	for _, want := range []string{
+		"flashwalker_jobs_submitted_total 3",
+		"flashwalker_jobs_completed_total 2",
+		"flashwalker_jobs_canceled_total 1",
+		"flashwalker_jobs_running 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestServiceBackpressureHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	long := JobSpec{Graph: "TT-S", NumWalks: 100_000, Seed: 1, CheckpointEvery: 64}
+	var ids []string
+	got429 := false
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, srv.URL+"/v1/jobs", long)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st JobStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, st.ID)
+		case http.StatusTooManyRequests:
+			got429 = true
+		default:
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	if !got429 {
+		t.Fatal("full queue never returned 429")
+	}
+	for _, id := range ids {
+		if resp, body := postJSON(t, srv.URL+"/v1/jobs/"+id+"/cancel", nil); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("cancel %s: %d %s", id, resp.StatusCode, body)
+		}
+	}
+	for _, id := range ids {
+		pollJob(t, srv, id)
+	}
+}
+
+func TestServiceGraphEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+
+	var graphs []GraphInfo
+	getJSON(t, srv.URL+"/v1/graphs", &graphs)
+	if len(graphs) != 5 {
+		t.Fatalf("listed %d graphs, want the 5 datasets", len(graphs))
+	}
+
+	// Load a custom graph file and run a job against it.
+	g, err := graph.RMAT(graph.DefaultRMAT(2048, 16384, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/custom.bin"
+	if err := graph.Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/graphs", map[string]string{"name": "custom", "path": path})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load graph: %d %s", resp.StatusCode, body)
+	}
+	var gi GraphInfo
+	if err := json.Unmarshal(body, &gi); err != nil {
+		t.Fatal(err)
+	}
+	if gi.Source != "file" || !gi.Loaded || gi.Edges == 0 {
+		t.Fatalf("bad graph info: %+v", gi)
+	}
+
+	st := submitJob(t, srv, JobSpec{Graph: "custom", NumWalks: 300, Seed: 1})
+	if fin := pollJob(t, srv, st.ID); fin.State != StateDone {
+		t.Fatalf("custom-graph job: %+v", fin)
+	}
+
+	// Unknown graph in a submission is a 404.
+	resp, _ = postJSON(t, srv.URL+"/v1/jobs", JobSpec{Graph: "missing"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown graph submit: %d", resp.StatusCode)
+	}
+	// Duplicate registration is a 400.
+	resp, _ = postJSON(t, srv.URL+"/v1/graphs", map[string]string{"name": "custom", "path": path})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate graph load: %d", resp.StatusCode)
+	}
+}

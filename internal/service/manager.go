@@ -1,0 +1,450 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flashwalker/internal/baseline"
+	"flashwalker/internal/core"
+	"flashwalker/internal/errs"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/harness"
+	"flashwalker/internal/walk"
+)
+
+// Service-level errors. Engine- and registry-level failures surface the
+// shared taxonomy (errs.ErrCanceled, errs.ErrInvalidConfig,
+// errs.ErrUnknownDataset); these two are specific to the job manager.
+var (
+	// ErrQueueFull reports a submission rejected by backpressure: the
+	// bounded job queue has no free slot. Retry later.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrUnknownJob reports a job ID with no matching job.
+	ErrUnknownJob = errors.New("unknown job")
+)
+
+// Job kinds.
+const (
+	// KindFlashWalker runs the in-storage accelerator (the default).
+	KindFlashWalker = "flashwalker"
+	// KindGraphWalker runs the host-CPU baseline for comparison.
+	KindGraphWalker = "graphwalker"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateCanceled = "canceled"
+	StateFailed   = "failed"
+)
+
+// JobSpec is a job submission.
+type JobSpec struct {
+	// Kind selects the engine: "flashwalker" (default) or "graphwalker".
+	Kind string `json:"kind"`
+	// Graph names a registry entry (dataset or loaded file).
+	Graph string `json:"graph"`
+	// NumWalks is the walk count; 0 uses the graph's default.
+	NumWalks int `json:"num_walks"`
+	// Seed is the root RNG seed (0 is a valid seed).
+	Seed uint64 `json:"seed"`
+	// MemBytes is the baseline's memory capacity; 0 uses the scaled-8GB
+	// analogue. Ignored by FlashWalker jobs.
+	MemBytes int64 `json:"mem_bytes"`
+	// CheckpointEvery overrides the event interval between cancellation
+	// checks and progress snapshots; 0 uses the engine default.
+	CheckpointEvery uint64 `json:"checkpoint_every"`
+}
+
+// normalize fills defaults and validates; registry lookup happens at
+// submission so unknown graphs fail the request, not the worker.
+func (s *JobSpec) normalize(reg *Registry) error {
+	if s.Kind == "" {
+		s.Kind = KindFlashWalker
+	}
+	if s.Kind != KindFlashWalker && s.Kind != KindGraphWalker {
+		return fmt.Errorf("service: unknown job kind %q: %w", s.Kind, errs.ErrInvalidConfig)
+	}
+	if s.NumWalks < 0 {
+		return fmt.Errorf("service: num_walks must be non-negative: %w", errs.ErrInvalidConfig)
+	}
+	if s.MemBytes < 0 {
+		return fmt.Errorf("service: mem_bytes must be non-negative: %w", errs.ErrInvalidConfig)
+	}
+	if s.MemBytes == 0 {
+		s.MemBytes = harness.GWMem8GB
+	}
+	_, ds, err := reg.Get(s.Graph)
+	if err != nil {
+		return err
+	}
+	if s.NumWalks == 0 {
+		s.NumWalks = ds.DefaultWalks
+	}
+	return nil
+}
+
+// Progress is a live job snapshot, engine-agnostic.
+type Progress struct {
+	SimTimeNS     int64  `json:"sim_time_ns"`
+	Events        uint64 `json:"events"`
+	Started       int    `json:"started"`
+	Completed     int    `json:"completed"`
+	DeadEnded     int    `json:"dead_ended"`
+	Hops          uint64 `json:"hops"`
+	WalksFinished int    `json:"walks_finished"`
+}
+
+// JobResult is the engine-agnostic outcome summary.
+type JobResult struct {
+	SimTimeNS       int64   `json:"sim_time_ns"`
+	Started         int     `json:"started"`
+	Completed       int     `json:"completed"`
+	DeadEnded       int     `json:"dead_ended"`
+	Hops            uint64  `json:"hops"`
+	HopRate         float64 `json:"hops_per_sim_sec"`
+	FlashReadBytes  int64   `json:"flash_read_bytes"`
+	FlashWriteBytes int64   `json:"flash_write_bytes"`
+	// Partial marks a result snapshotted at a cancellation boundary
+	// rather than at completion.
+	Partial bool `json:"partial"`
+}
+
+// Job is one tracked run. Fields under mu change as the job advances; the
+// Status method returns consistent copies for the API.
+type Job struct {
+	ID        string  `json:"id"`
+	Spec      JobSpec `json:"spec"`
+	Submitted time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	progress atomic.Pointer[Progress]
+
+	mu       sync.Mutex
+	state    string
+	err      error
+	result   *JobResult
+	started  time.Time
+	finished time.Time
+}
+
+// JobStatus is the API view of a job.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	Spec        JobSpec    `json:"spec"`
+	State       string     `json:"state"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Progress    *Progress  `json:"progress,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	st := JobStatus{
+		ID: j.ID, Spec: j.Spec, State: j.state, SubmittedAt: j.Submitted,
+		Result: j.result,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	j.mu.Unlock()
+	st.Progress = j.progress.Load()
+	return st
+}
+
+// Err returns the job's final error (nil while queued/running or on
+// success). A canceled job's error wraps errs.ErrCanceled.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Config parameterizes a Manager.
+type Config struct {
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it are rejected with ErrQueueFull. 0 means 16.
+	QueueDepth int
+	// Workers is the number of jobs run concurrently. 0 means 2.
+	Workers int
+}
+
+// Manager owns the job queue and worker pool.
+type Manager struct {
+	reg     *Registry
+	queue   chan *Job
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string
+	seq   uint64
+
+	metrics managerMetrics
+}
+
+// NewManager starts cfg.Workers worker goroutines draining the queue.
+// Close releases them.
+func NewManager(reg *Registry, cfg Config) *Manager {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		reg:     reg,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    map[string]*Job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close stops the workers. Running jobs are canceled; queued jobs are
+// left in place (their state stays "queued" — a restarted manager would
+// need persistence, which this service does not attempt).
+func (m *Manager) Close() {
+	m.stop()
+	m.wg.Wait()
+}
+
+// Registry exposes the graph registry backing this manager.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Submit validates spec, assigns an ID, and enqueues the job. A full
+// queue rejects immediately with ErrQueueFull (backpressure) rather than
+// blocking the caller.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.normalize(m.reg); err != nil {
+		m.metrics.rejected.Add(1)
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		Spec:      spec,
+		Submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+	}
+
+	m.mu.Lock()
+	m.seq++
+	j.ID = fmt.Sprintf("job-%d", m.seq)
+	select {
+	case m.queue <- j:
+	default:
+		m.seq--
+		m.mu.Unlock()
+		cancel()
+		m.metrics.rejected.Add(1)
+		return nil, fmt.Errorf("service: %w (depth %d)", ErrQueueFull, cap(m.queue))
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+
+	m.metrics.submitted.Add(1)
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: %w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// List returns every job's status, oldest first.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, err := m.Get(id); err == nil {
+			out = append(out, j.Status())
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation. Queued jobs terminate without running;
+// running jobs halt at the engine's next checkpoint and keep their
+// partial result. Canceling a finished job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.cancel()
+	return nil
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job end to end.
+func (m *Manager) run(j *Job) {
+	ctx := j.ctx
+	if ctx.Err() != nil { // canceled while queued
+		m.finish(j, nil, &errs.Canceled{
+			Op: "service", Finished: 0, Total: j.Spec.NumWalks, Cause: ctx.Err(),
+		})
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	m.metrics.running.Add(1)
+	defer m.metrics.running.Add(-1)
+
+	g, ds, err := m.reg.Get(j.Spec.Graph)
+	if err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+
+	var res *JobResult
+	switch j.Spec.Kind {
+	case KindGraphWalker:
+		res, err = m.runGraphWalker(ctx, j, g, ds)
+	default:
+		res, err = m.runFlashWalker(ctx, j, g, ds)
+	}
+	m.finish(j, res, err)
+}
+
+func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds harness.Dataset) (*JobResult, error) {
+	rc := harness.FlashWalkerConfig(ds, core.AllOptions(), j.Spec.NumWalks, j.Spec.Seed)
+	rc.CheckpointEvery = j.Spec.CheckpointEvery
+	rc.OnProgress = func(p core.Progress) {
+		j.progress.Store(&Progress{
+			SimTimeNS: int64(p.Now), Events: p.Events,
+			Started: p.Started, Completed: p.Completed, DeadEnded: p.DeadEnded,
+			Hops: p.Hops, WalksFinished: p.WalksFinished(),
+		})
+	}
+	e, err := core.NewEngine(g, rc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.RunContext(ctx)
+	if r == nil {
+		return nil, err
+	}
+	return &JobResult{
+		SimTimeNS: int64(r.Time), Started: r.Started, Completed: r.Completed,
+		DeadEnded: r.DeadEnded, Hops: r.Hops, HopRate: r.HopRate(),
+		FlashReadBytes: r.Flash.ReadBytes, FlashWriteBytes: r.Flash.WriteBytes,
+		Partial: err != nil,
+	}, err
+}
+
+func (m *Manager) runGraphWalker(ctx context.Context, j *Job, g *graph.Graph, ds harness.Dataset) (*JobResult, error) {
+	cfg := harness.GraphWalkerConfig(ds, j.Spec.MemBytes, j.Spec.Seed)
+	cfg.CheckpointEvery = j.Spec.CheckpointEvery
+	cfg.OnProgress = func(p baseline.Progress) {
+		j.progress.Store(&Progress{
+			SimTimeNS: int64(p.Now), Events: p.Events,
+			Started: p.Started, Completed: p.Completed, DeadEnded: p.DeadEnded,
+			Hops: p.Hops, WalksFinished: p.WalksFinished(),
+		})
+	}
+	spec := walk.Spec{Kind: walk.Unbiased, Length: harness.WalkLength}
+	e, err := baseline.New(g, cfg, spec, j.Spec.NumWalks, j.Spec.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.RunContext(ctx)
+	if r == nil {
+		return nil, err
+	}
+	return &JobResult{
+		SimTimeNS: int64(r.Time), Started: r.Started, Completed: r.Completed,
+		DeadEnded: r.DeadEnded, Hops: r.Hops,
+		FlashReadBytes: r.Flash.ReadBytes, FlashWriteBytes: r.Flash.WriteBytes,
+		Partial: err != nil,
+	}, err
+}
+
+// finish moves the job to its terminal state and updates the aggregate
+// counters.
+func (m *Manager) finish(j *Job, res *JobResult, err error) {
+	j.mu.Lock()
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, errs.ErrCanceled):
+		j.state = StateCanceled
+	default:
+		j.state = StateFailed
+	}
+	state := j.state
+	j.mu.Unlock()
+	close(j.done)
+
+	switch state {
+	case StateDone:
+		m.metrics.completed.Add(1)
+	case StateCanceled:
+		m.metrics.canceled.Add(1)
+	default:
+		m.metrics.failed.Add(1)
+	}
+	if res != nil {
+		m.metrics.walksFinished.Add(int64(res.Completed + res.DeadEnded))
+		m.metrics.hops.Add(int64(res.Hops))
+	}
+}

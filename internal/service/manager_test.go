@@ -1,0 +1,152 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flashwalker/internal/errs"
+)
+
+func waitTerminal(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("job %s did not finish (state %s)", j.ID, j.Status().State)
+	}
+}
+
+func TestManagerRunsJob(t *testing.T) {
+	m := NewManager(NewRegistry(), Config{Workers: 1})
+	defer m.Close()
+	j, err := m.Submit(JobSpec{Graph: "TT-S", NumWalks: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	st := j.Status()
+	if st.State != StateDone {
+		t.Fatalf("state %s, error %q", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Completed+st.Result.DeadEnded != 500 {
+		t.Fatalf("bad result: %+v", st.Result)
+	}
+	if st.Result.Partial {
+		t.Error("completed job marked partial")
+	}
+	if st.Progress == nil || st.Progress.WalksFinished != 500 {
+		t.Errorf("final progress snapshot missing or stale: %+v", st.Progress)
+	}
+}
+
+func TestManagerBaselineJob(t *testing.T) {
+	m := NewManager(NewRegistry(), Config{Workers: 1})
+	defer m.Close()
+	j, err := m.Submit(JobSpec{Kind: KindGraphWalker, Graph: "TT-S", NumWalks: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if st := j.Status(); st.State != StateDone || st.Result.Completed+st.Result.DeadEnded != 500 {
+		t.Fatalf("baseline job: %+v", st)
+	}
+}
+
+func TestManagerCancellationPartialResult(t *testing.T) {
+	m := NewManager(NewRegistry(), Config{Workers: 1})
+	defer m.Close()
+	j, err := m.Submit(JobSpec{Graph: "TT-S", NumWalks: 100_000, Seed: 1, CheckpointEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first progress snapshot so the cancel lands mid-run.
+	deadline := time.Now().Add(time.Minute)
+	for j.progress.Load() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reported progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	st := j.Status()
+	if st.State != StateCanceled {
+		t.Fatalf("state %s, error %q", st.State, st.Error)
+	}
+	if !errors.Is(j.Err(), errs.ErrCanceled) {
+		t.Errorf("error %v does not wrap ErrCanceled", j.Err())
+	}
+	var c *errs.Canceled
+	if !errors.As(j.Err(), &c) {
+		t.Error("errors.As failed to recover *errs.Canceled")
+	}
+	if st.Result == nil || !st.Result.Partial {
+		t.Fatalf("canceled job has no partial result: %+v", st.Result)
+	}
+	if fin := st.Result.Completed + st.Result.DeadEnded; fin >= 100_000 {
+		t.Errorf("canceled run claims %d finished walks", fin)
+	}
+}
+
+func TestManagerBackpressure(t *testing.T) {
+	m := NewManager(NewRegistry(), Config{Workers: 1, QueueDepth: 1})
+	defer m.Close()
+	// Occupy the single worker with a long job, fill the one queue slot,
+	// then watch the next submission bounce.
+	long := JobSpec{Graph: "TT-S", NumWalks: 100_000, Seed: 1, CheckpointEvery: 64}
+	j1, err := m.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j2 *Job
+	rejected := false
+	for i := 0; i < 3; i++ {
+		j, err := m.Submit(long)
+		if errors.Is(err, ErrQueueFull) {
+			rejected = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2 = j
+	}
+	if !rejected {
+		t.Fatal("queue of depth 1 accepted 3 concurrent submissions")
+	}
+	// Cancel what we queued so the test exits promptly.
+	if err := m.Cancel(j1.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j1)
+	if j2 != nil {
+		if err := m.Cancel(j2.ID); err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j2)
+		// j2 was canceled while queued: no result, still ErrCanceled.
+		if st := j2.Status(); st.State != StateCanceled {
+			t.Errorf("queued-then-canceled job state %s", st.State)
+		}
+	}
+}
+
+func TestManagerSubmitValidation(t *testing.T) {
+	m := NewManager(NewRegistry(), Config{Workers: 1})
+	defer m.Close()
+	if _, err := m.Submit(JobSpec{Graph: "nope"}); !errors.Is(err, errs.ErrUnknownDataset) {
+		t.Errorf("unknown graph: %v", err)
+	}
+	if _, err := m.Submit(JobSpec{Graph: "TT-S", Kind: "warp-drive"}); !errors.Is(err, errs.ErrInvalidConfig) {
+		t.Errorf("unknown kind: %v", err)
+	}
+	if _, err := m.Submit(JobSpec{Graph: "TT-S", NumWalks: -1}); !errors.Is(err, errs.ErrInvalidConfig) {
+		t.Errorf("negative walks: %v", err)
+	}
+	if _, err := m.Get("job-999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job: %v", err)
+	}
+}

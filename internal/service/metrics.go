@@ -1,0 +1,44 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// managerMetrics are the service's aggregate counters, exported in
+// Prometheus text exposition format by Metrics (no client library; the
+// format is four lines of text per series).
+type managerMetrics struct {
+	submitted     atomic.Int64
+	completed     atomic.Int64
+	canceled      atomic.Int64
+	failed        atomic.Int64
+	rejected      atomic.Int64
+	running       atomic.Int64
+	walksFinished atomic.Int64
+	hops          atomic.Int64
+}
+
+// Metrics renders the service counters in Prometheus text format.
+func (m *Manager) Metrics() string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("flashwalker_jobs_submitted_total", "Jobs accepted into the queue.", m.metrics.submitted.Load())
+	counter("flashwalker_jobs_completed_total", "Jobs that ran to completion.", m.metrics.completed.Load())
+	counter("flashwalker_jobs_canceled_total", "Jobs canceled before completion.", m.metrics.canceled.Load())
+	counter("flashwalker_jobs_failed_total", "Jobs that ended in an error.", m.metrics.failed.Load())
+	counter("flashwalker_jobs_rejected_total", "Submissions rejected (validation or full queue).", m.metrics.rejected.Load())
+	counter("flashwalker_walks_finished_total", "Walks finished across all jobs (including partial runs).", m.metrics.walksFinished.Load())
+	counter("flashwalker_hops_total", "Walk hops simulated across all jobs.", m.metrics.hops.Load())
+	gauge("flashwalker_jobs_running", "Jobs currently executing.", m.metrics.running.Load())
+	gauge("flashwalker_queue_depth", "Jobs waiting in the bounded queue.", int64(len(m.queue)))
+	gauge("flashwalker_queue_capacity", "Bounded queue capacity.", int64(cap(m.queue)))
+	gauge("flashwalker_graphs_registered", "Graphs in the registry.", int64(len(m.reg.List())))
+	return b.String()
+}

@@ -1,0 +1,139 @@
+// Package service turns the simulators into a long-running walk service:
+// a graph registry caching datasets, a job manager with a bounded queue
+// and cooperative cancellation, and an HTTP/JSON API (http.go) that
+// cmd/flashwalkerd serves.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flashwalker/internal/errs"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/harness"
+)
+
+// GraphInfo describes one registry entry for the API.
+type GraphInfo struct {
+	// Name is the registry key jobs reference.
+	Name string `json:"name"`
+	// Source is "dataset" for built-in Table IV analogues, "file" for
+	// graphs loaded from disk.
+	Source string `json:"source"`
+	// Loaded reports whether the graph is materialized in memory
+	// (datasets generate lazily on first use).
+	Loaded bool `json:"loaded"`
+	// Vertices and Edges are zero until the graph is loaded.
+	Vertices uint64 `json:"vertices"`
+	Edges    uint64 `json:"edges"`
+}
+
+type regEntry struct {
+	ds     harness.Dataset
+	source string
+
+	mu  sync.Mutex
+	g   *graph.Graph
+	err error
+}
+
+// graph materializes the entry's graph, once, caching the outcome.
+func (e *regEntry) graph() (*graph.Graph, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.g == nil && e.err == nil {
+		e.g, e.err = e.ds.Graph()
+	}
+	return e.g, e.err
+}
+
+// Registry maps graph names to datasets (built-in or file-backed). It is
+// safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+}
+
+// NewRegistry returns a registry prepopulated with the five scaled
+// Table IV dataset analogues. Their graphs generate lazily on first use.
+func NewRegistry() *Registry {
+	r := &Registry{entries: map[string]*regEntry{}}
+	for _, d := range harness.Datasets() {
+		r.entries[d.Name] = &regEntry{ds: d, source: "dataset"}
+	}
+	return r
+}
+
+// Load registers a graph from a file under the given name. The file is
+// read immediately so a bad path fails the request, not a later job.
+func (r *Registry) Load(name, path string) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("service: graph name must be non-empty: %w", errs.ErrInvalidConfig)
+	}
+	g, err := graph.Load(path)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("service: loading graph %q: %w", name, err)
+	}
+	// File graphs borrow the dataset shape so the harness config
+	// derivation applies unchanged; the scaled TT-S parameters are the
+	// generic defaults for an unknown graph.
+	ds := harness.Dataset{
+		Name: name, Mirrors: "file:" + path, IDBytes: 4,
+		SubgraphBytes: 4 << 10, DefaultWalks: 100_000,
+	}
+	e := &regEntry{ds: ds, source: "file", g: g}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return GraphInfo{}, fmt.Errorf("service: graph %q already registered: %w", name, errs.ErrInvalidConfig)
+	}
+	r.entries[name] = e
+	return info(name, e), nil
+}
+
+// Get returns the named graph and its dataset-shaped configuration,
+// materializing built-in datasets on first use. Unknown names report an
+// error wrapping errs.ErrUnknownDataset.
+func (r *Registry) Get(name string) (*graph.Graph, harness.Dataset, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, harness.Dataset{}, fmt.Errorf("service: graph %q not registered: %w", name, errs.ErrUnknownDataset)
+	}
+	g, err := e.graph()
+	if err != nil {
+		return nil, harness.Dataset{}, err
+	}
+	return g, e.ds, nil
+}
+
+// List returns every registered graph, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]GraphInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, info(name, r.entries[name]))
+	}
+	r.mu.Unlock()
+	return out
+}
+
+func info(name string, e *regEntry) GraphInfo {
+	gi := GraphInfo{Name: name, Source: e.source}
+	e.mu.Lock()
+	if e.g != nil {
+		gi.Loaded = true
+		gi.Vertices = e.g.NumVertices()
+		gi.Edges = e.g.NumEdges()
+	}
+	e.mu.Unlock()
+	return gi
+}

@@ -92,6 +92,15 @@ type Engine struct {
 	// for these (kindFunc is the only kind it handles).
 	funcs   []func()
 	freeFns []int32
+
+	// Cooperative checkpoint hook (SetCheckpoint): checkFn is consulted
+	// every checkEvery processed events, strictly between events; returning
+	// false halts the drain loop. The hook never touches the clock or the
+	// heap, so an uncanceled run's timeline is bit-identical with or without
+	// a hook installed.
+	checkEvery uint64
+	checkFn    func() bool
+	halted     bool
 }
 
 // kindFunc tags the engine-internal closure events created by At/After.
@@ -172,6 +181,46 @@ func (e *Engine) HandleEvent(ev Event) {
 	fn()
 }
 
+// SetCheckpoint installs a cooperative stop hook: fn is invoked every
+// `every` processed events during Run/RunUntil, always at an event boundary
+// (never mid-event). Returning false halts the drain loop; the engine's
+// clock, heap, and pending events are left exactly as they were, so a
+// halted run can be resumed by calling Run again or abandoned with a
+// consistent partial state. Passing fn == nil clears the hook.
+//
+// The hook must not schedule events or otherwise mutate the engine; it is a
+// pure observer used for cancellation and progress snapshots. Because it
+// only ever runs between events, installing a hook cannot perturb the
+// simulated timeline of a run that is not halted.
+func (e *Engine) SetCheckpoint(every uint64, fn func() bool) {
+	if fn != nil && every == 0 {
+		panic("sim: checkpoint interval must be positive")
+	}
+	e.checkEvery = every
+	e.checkFn = fn
+}
+
+// ClearCheckpoint removes any installed checkpoint hook.
+func (e *Engine) ClearCheckpoint() { e.checkFn = nil; e.checkEvery = 0 }
+
+// Halted reports whether the last Run/RunUntil was stopped by the
+// checkpoint hook rather than by draining the schedule or reaching the
+// deadline.
+func (e *Engine) Halted() bool { return e.halted }
+
+// checkpoint consults the hook if one is due; it reports true when the
+// drain loop must halt.
+func (e *Engine) checkpoint() bool {
+	if e.checkFn == nil || e.processed%e.checkEvery != 0 {
+		return false
+	}
+	if e.checkFn() {
+		return false
+	}
+	e.halted = true
+	return true
+}
+
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
@@ -185,19 +234,29 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until none remain, returning the final time.
+// Run executes events until none remain (or the checkpoint hook halts the
+// drain), returning the final time.
 func (e *Engine) Run() Time {
+	e.halted = false
 	for e.Step() {
+		if e.checkpoint() {
+			break
+		}
 	}
 	return e.now
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline if it is still earlier. Events scheduled beyond the
-// deadline remain pending.
+// deadline remain pending. A checkpoint halt leaves the clock where the
+// last event put it (the deadline advance is skipped).
 func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
 	for len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
+		if e.checkpoint() {
+			return e.now
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -17,8 +17,10 @@
 package walk
 
 import (
+	"context"
 	"fmt"
 
+	"flashwalker/internal/errs"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/rng"
 )
@@ -91,24 +93,24 @@ type Spec struct {
 // Validate checks the spec against the graph it will run on.
 func (s Spec) Validate(g *graph.Graph) error {
 	if s.Length == 0 {
-		return fmt.Errorf("walk: zero Length")
+		return fmt.Errorf("walk: zero Length: %w", errs.ErrInvalidConfig)
 	}
 	switch s.Kind {
 	case Unbiased:
 	case Biased:
 		if !g.Weighted() {
-			return fmt.Errorf("walk: biased walk on unweighted graph")
+			return fmt.Errorf("walk: biased walk on unweighted graph: %w", errs.ErrInvalidConfig)
 		}
 	case Restart:
 		if s.StopProb <= 0 || s.StopProb >= 1 {
-			return fmt.Errorf("walk: restart StopProb %v outside (0,1)", s.StopProb)
+			return fmt.Errorf("walk: restart StopProb %v outside (0,1): %w", s.StopProb, errs.ErrInvalidConfig)
 		}
 	case SecondOrder:
 		if s.P <= 0 || s.Q <= 0 {
-			return fmt.Errorf("walk: second-order P/Q must be positive (got %v, %v)", s.P, s.Q)
+			return fmt.Errorf("walk: second-order P/Q must be positive (got %v, %v): %w", s.P, s.Q, errs.ErrInvalidConfig)
 		}
 	default:
-		return fmt.Errorf("walk: unknown kind %d", s.Kind)
+		return fmt.Errorf("walk: unknown kind %d: %w", s.Kind, errs.ErrInvalidConfig)
 	}
 	return nil
 }
@@ -280,9 +282,28 @@ func (st *Stats) RecordVisit(v graph.VertexID) {
 // and the workhorse behind the example applications. Per-walk RNG streams
 // are derived from seed, so results are independent of execution order.
 // If trace is non-nil, it receives each walk's full vertex path.
+//
+// Deprecated: use RunContext, which supports cancellation. Run is
+// RunContext with a background context.
 func Run(g *graph.Graph, spec Spec, walks []Walk, seed uint64, trace func(i int, path []graph.VertexID)) (*Stats, error) {
+	return RunContext(context.Background(), g, spec, walks, seed, trace)
+}
+
+// cancelCheckEvery is the walk interval between ctx checks in RunContext.
+const cancelCheckEvery = 256
+
+// RunContext is Run with cooperative cancellation: ctx is checked between
+// walks (every cancelCheckEvery of them), and on cancellation the partial
+// Stats accumulated so far are returned with an error satisfying
+// errors.Is(err, errs.ErrCanceled). Per-walk RNG streams are derived from
+// (seed, walk index), so the walks that did complete are identical to the
+// same walks of an uncanceled run.
+func RunContext(ctx context.Context, g *graph.Graph, spec Spec, walks []Walk, seed uint64, trace func(i int, path []graph.VertexID)) (*Stats, error) {
 	if err := spec.Validate(g); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	root := rng.New(seed)
 	st := NewStats(g)
@@ -290,6 +311,9 @@ func Run(g *graph.Graph, spec Spec, walks []Walk, seed uint64, trace func(i int,
 	var path []graph.VertexID
 	noPrev := graph.VertexID(g.NumVertices()) // sentinel: no previous vertex
 	for i := range walks {
+		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return st, &errs.Canceled{Op: "walk", Finished: i, Total: len(walks), Cause: ctx.Err()}
+		}
 		w := walks[i]
 		prev := noPrev
 		r := root.Derive(uint64(i))
