@@ -11,6 +11,7 @@ import (
 	"flashwalker/internal/baseline"
 	"flashwalker/internal/core"
 	"flashwalker/internal/errs"
+	"flashwalker/internal/fault"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/sim"
@@ -48,6 +49,11 @@ type (
 	// EnergyConfig and Energy estimate a run's energy from its counters.
 	EnergyConfig = core.EnergyConfig
 	Energy       = core.Energy
+	// FaultConfig enables deterministic fault injection in the simulated
+	// flash stack (set it on EngineConfig.Faults or BaselineConfig.Faults);
+	// FaultCounters reports what was injected and how the engine responded.
+	FaultConfig   = fault.Config
+	FaultCounters = fault.Counters
 
 	// BaselineConfig parameterizes the GraphWalker comparison system.
 	BaselineConfig = baseline.Config
@@ -80,6 +86,10 @@ const (
 
 // AllOptions enables every FlashWalker optimization.
 func AllOptions() Options { return core.AllOptions() }
+
+// DefaultFaultConfig returns the representative enabled fault profile (2%
+// read errors, 5% plane-busy stalls, bounded retry, sticky degradation).
+func DefaultFaultConfig() FaultConfig { return fault.Default() }
 
 // NewGraphBuilder creates a builder for a graph with numVertices vertices.
 func NewGraphBuilder(numVertices uint64) *GraphBuilder { return graph.NewBuilder(numVertices) }

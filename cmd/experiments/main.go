@@ -34,6 +34,7 @@ func main() {
 	tables := flag.String("table", "", "comma-separated table numbers to print (1,2,3,4)")
 	energy := flag.Bool("energy", false, "run the energy-comparison extension experiment")
 	algos := flag.Bool("algorithms", false, "run the walk-algorithm extension experiment")
+	faults := flag.Bool("faults", false, "run the fault-injection extension experiment (clean vs default fault profile)")
 	all := flag.Bool("all", false, "run every table and figure")
 	scale := flag.Float64("scale", 1.0, "walk-count scale factor")
 	seed := flag.Uint64("seed", 1, "root seed")
@@ -71,7 +72,7 @@ func main() {
 		*figs = "1,5,6,7,8,9"
 		*tables = "1,2,3,4"
 	}
-	if *figs == "" && *tables == "" && !*energy && !*algos {
+	if *figs == "" && *tables == "" && !*energy && !*algos && !*faults {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -104,6 +105,18 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.FormatExtAlgorithms(rows))
+	}
+	if *faults {
+		rows, err := harness.ExtFaults(ctx, *scale, *seed, *parallel)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatExtFaults(rows))
+		if err := saveCSV("faults.csv", func(w *os.File) error {
+			return harness.FaultsCSV(w, rows)
+		}); err != nil {
+			fail(err)
+		}
 	}
 	stopProfiles()
 }

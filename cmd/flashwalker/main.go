@@ -9,6 +9,7 @@
 //	flashwalker -dataset TT-S -walks 10000
 //	flashwalker -graph g.bin -walks 5000 -kind restart -stopprob 0.15
 //	flashwalker -dataset FS-S -walks 10000 -no-wq -no-hs -no-ss
+//	flashwalker -dataset TT-S -walks 10000 -faults -fault-read-rate 0.05
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"flashwalker/internal/core"
 	"flashwalker/internal/errs"
+	"flashwalker/internal/fault"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/metrics"
@@ -42,6 +44,10 @@ func main() {
 	noSS := flag.Bool("no-ss", false, "disable score-based subgraph scheduling")
 	subgraph := flag.Int64("subgraph", 4096, "graph block size in bytes (for -graph)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	faults := flag.Bool("faults", false, "enable deterministic fault injection (default profile)")
+	faultSeed := flag.Uint64("fault-seed", 0, "override the fault RNG seed (with -faults)")
+	faultReadRate := flag.Float64("fault-read-rate", -1, "override the per-sense read-error probability (with -faults)")
+	faultBusyRate := flag.Float64("fault-busy-rate", -1, "override the per-sense plane-busy probability (with -faults)")
 	flag.Parse()
 
 	opts := core.Options{WalkQuery: !*noWQ, HotSubgraphs: !*noHS, SmartSchedule: !*noSS}
@@ -72,6 +78,20 @@ func main() {
 		fail(fmt.Errorf("one of -dataset or -graph is required"))
 	}
 	rc.Spec = spec
+
+	if *faults {
+		fc := fault.Default()
+		if *faultSeed != 0 {
+			fc.Seed = *faultSeed
+		}
+		if *faultReadRate >= 0 {
+			fc.ReadErrorRate = *faultReadRate
+		}
+		if *faultBusyRate >= 0 {
+			fc.PlaneBusyRate = *faultBusyRate
+		}
+		rc.Cfg.Faults = fc
+	}
 
 	var traceFile *os.File
 	var tw *trace.Writer
@@ -165,6 +185,14 @@ func printResult(r *core.Result) {
 	fmt.Printf("chip updater util     %.1f%% mean / %.1f%% max\n",
 		100*r.ChipUpdaterUtil, 100*r.ChipUpdaterUtilMax)
 	fmt.Printf("channel bus util max  %.1f%%\n", 100*r.ChannelBusUtilMax)
+	if r.Faults != (fault.Counters{}) || r.FaultReroutes != 0 || r.FailoverBlocks != 0 {
+		fmt.Printf("faults: read errors   %d (%d retries, %d exhausted)\n",
+			r.Faults.ReadErrors, r.Faults.Retries, r.Faults.RetriesExhausted)
+		fmt.Printf("faults: plane stalls  %d (%v stalled, %v backoff)\n",
+			r.Faults.PlaneBusyStalls, r.Faults.StallTime, r.Faults.BackoffTime)
+		fmt.Printf("faults: degradation   %d chips, %d blocks failed over, %d walks rerouted\n",
+			r.Faults.DegradedChips, r.FailoverBlocks, r.FaultReroutes)
+	}
 }
 
 func fail(err error) {

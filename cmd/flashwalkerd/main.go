@@ -9,6 +9,9 @@
 // Endpoints (see internal/service):
 //
 //	POST /v1/jobs              {"graph":"TT-S","num_walks":1000,"seed":1}
+//	                           add "fault_config":{"enabled":true,...} for
+//	                           deterministic fault injection (invalid
+//	                           configs are rejected with 400 at submission)
 //	GET  /v1/jobs              list jobs
 //	GET  /v1/jobs/{id}         job status with live progress
 //	POST /v1/jobs/{id}/cancel  cancel (running jobs keep a partial result)

@@ -18,6 +18,7 @@ import (
 
 	"flashwalker/internal/baseline"
 	"flashwalker/internal/errs"
+	"flashwalker/internal/fault"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/metrics"
@@ -31,6 +32,8 @@ func main() {
 	length := flag.Uint("length", harness.WalkLength, "walk length (hops)")
 	mem := flag.Int64("mem", harness.GWMem8GB, "host memory bytes for graph blocks (scaled: 1MiB=4GB, 2MiB=8GB, 4MiB=16GB)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	faults := flag.Bool("faults", false, "enable deterministic fault injection on the SSD (default profile)")
+	faultSeed := flag.Uint64("fault-seed", 0, "override the fault RNG seed (with -faults)")
 	flag.Parse()
 
 	spec := walk.Spec{Kind: walk.Unbiased, Length: uint32(*length)}
@@ -55,6 +58,14 @@ func main() {
 		cfg = harness.GraphWalkerConfig(harness.Dataset{IDBytes: 4}, *mem, *seed)
 	default:
 		fail(fmt.Errorf("one of -dataset or -graph is required"))
+	}
+
+	if *faults {
+		fc := fault.Default()
+		if *faultSeed != 0 {
+			fc.Seed = *faultSeed
+		}
+		cfg.Faults = fc
 	}
 
 	e, err := baseline.New(g, cfg, spec, *walks, *seed+100)
@@ -86,6 +97,10 @@ func printResult(res *baseline.Result) {
 		res.WalkSpills, metrics.FormatBytes(res.WalkSpillBytes), metrics.FormatBytes(res.WalkLoadBytes))
 	fmt.Printf("iterations      %d\n", res.Iterations)
 	fmt.Printf("PCIe traffic    %s\n", metrics.FormatBytes(res.Flash.HostBytes))
+	if res.Faults != (fault.Counters{}) {
+		fmt.Printf("faults          %d read errors, %d retries, %d plane stalls, %d chips degraded\n",
+			res.Faults.ReadErrors, res.Faults.Retries, res.Faults.PlaneBusyStalls, res.Faults.DegradedChips)
+	}
 	if res.Breakdown != nil {
 		fmt.Printf("time breakdown (component busy time):\n%s", res.Breakdown.String())
 	}

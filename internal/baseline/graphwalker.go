@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"flashwalker/internal/errs"
+	"flashwalker/internal/fault"
 	"flashwalker/internal/flash"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/metrics"
@@ -61,6 +62,14 @@ type Config struct {
 	// CheckpointEvery is the event interval between cancellation checks and
 	// progress snapshots; 0 uses DefaultCheckpointEvery.
 	CheckpointEvery uint64
+	// Faults optionally perturbs the simulated SSD with the same
+	// deterministic injector FlashWalker uses. GraphWalker has no
+	// in-storage accelerators to fail over to, so degraded chips simply
+	// serve reads with the injector's penalty. Note the baseline samples
+	// hops from one shared stream, so unlike FlashWalker its trajectories
+	// are NOT invariant under fault timing — only deterministic for a
+	// fixed (seed, fault config) pair.
+	Faults fault.Config
 }
 
 // DefaultCheckpointEvery is the default event interval between cooperative
@@ -109,6 +118,9 @@ func (c Config) Validate() error {
 	if c.CPUHopTime <= 0 || c.Threads <= 0 {
 		return fmt.Errorf("baseline: non-positive CPU parameters: %w", errs.ErrInvalidConfig)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -130,6 +142,10 @@ type Result struct {
 	WalkLoadBytes  int64
 	Iterations     uint64 // scheduling rounds
 	Prefetches     uint64 // background block loads issued
+
+	// Faults holds the injected-fault totals (all zero unless
+	// Config.Faults.Enabled).
+	Faults fault.Counters
 
 	// Breakdown attributes busy time to components (Figure 1): "load
 	// graph", "update walks", "walk I/O".
@@ -168,6 +184,7 @@ type Engine struct {
 	part *partition.Partitioned
 	spec walk.Spec
 	rng  *rng.RNG
+	inj  *fault.Injector
 
 	pools      []pool
 	inMem      map[int]bool
@@ -214,6 +231,11 @@ func NewWithSSD(g *graph.Graph, cfg Config, ssdCfg flash.Config, spec walk.Spec,
 	if err != nil {
 		return nil, err
 	}
+	var inj *fault.Injector
+	if cfg.Faults.Enabled {
+		inj = fault.NewInjector(cfg.Faults, ssd.NumChips())
+		ssd.AttachFaults(inj)
+	}
 	e := &Engine{
 		eng:     eng,
 		cfg:     cfg,
@@ -222,6 +244,7 @@ func NewWithSSD(g *graph.Graph, cfg Config, ssdCfg flash.Config, spec walk.Spec,
 		part:    part,
 		spec:    spec,
 		rng:     rng.New(cfg.Seed),
+		inj:     inj,
 		pools:   make([]pool, part.NumBlocks()),
 		inMem:   map[int]bool{},
 		loading: map[int][]func(){},
@@ -367,6 +390,9 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	e.eng.Run()
 	e.res.Time = e.eng.Now()
 	e.res.Flash = e.ssd.Counters
+	if e.inj != nil {
+		e.res.Faults = e.inj.Counters
+	}
 	if e.cfg.OnProgress != nil {
 		e.cfg.OnProgress(e.progress())
 	}

@@ -31,12 +31,12 @@ func TestSteadyStateHopAllocFree(t *testing.T) {
 			break
 		}
 	}
-	st := wstate{w: walk.Walk{Cur: v, Hop: 1 << 20}, denseBlock: -1, rangeTag: -1, prev: noPrev}
-	r := e.chips[0].rng
+	st := wstate{w: walk.Walk{Cur: v, Hop: 1 << 20}, denseBlock: -1, rangeTag: -1, prev: noPrev,
+		rng: *e.rootRNG.Derive(1)}
 
 	allocs := testing.AllocsPerRun(1000, func() {
 		ref, n := e.newNode()
-		h := e.decideHop(r, st)
+		h := e.decideHop(st)
 		n.st, n.terminal, n.deadEnd = h.next, h.terminal, h.deadEnd
 		e.freeNodeRef(ref)
 

@@ -54,6 +54,11 @@ func (b *boardAccel) route(d routeDecision) {
 		b.hot.contains(d.blockID) && b.tryHotUpdate(d.st) {
 		return
 	}
+	// Degraded destination chip: try the channel-level failover copy first
+	// (degrade.go); a miss falls through — the chip still works, just slow.
+	if e.rerouteDegraded(d.blockID, d.st) {
+		return
+	}
 	e.insertPWB(d.blockID, d.st)
 }
 

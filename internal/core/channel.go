@@ -14,6 +14,10 @@ type channelAccel struct {
 	tierCommon
 	id      int
 	channel *fl.Channel
+	// failover marks that a degraded chip's hot subgraphs were merged into
+	// this channel's hot set (degrade.go); it keeps the hot path live even
+	// when Opts.HotSubgraphs is off.
+	failover bool
 }
 
 // scheduleTick arms the periodic roving-walk fetch.
@@ -53,7 +57,7 @@ func (ca *channelAccel) Guide(st wstate) {
 	e := ca.e
 	ops := 1
 	var hotBlock = -1
-	if e.cfg.Opts.HotSubgraphs && ca.hotReady && st.denseBlock < 0 {
+	if (e.cfg.Opts.HotSubgraphs || ca.failover) && ca.hotReady && ca.hot != nil && st.denseBlock < 0 {
 		b, steps := ca.hot.find(st.w.Cur)
 		ops += steps
 		hotBlock = b

@@ -335,7 +335,7 @@ func (c *chipAccel) EnqueueUpdate(st wstate) {
 func (c *chipAccel) enqueue(s *chipSlot, st wstate) {
 	s.pending++
 	s.idle = false
-	h := c.e.decideHop(c.rng, st)
+	h := c.e.decideHop(st)
 	c.e.chargeFilterProbes(h, c)
 	ref, n := c.e.newNode()
 	n.st, n.terminal, n.deadEnd = h.next, h.terminal, h.deadEnd

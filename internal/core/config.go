@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"flashwalker/internal/errs"
+	"flashwalker/internal/fault"
 	"flashwalker/internal/sim"
 )
 
@@ -120,6 +121,11 @@ type Config struct {
 	Opts Options
 
 	Seed uint64
+
+	// Faults configures deterministic fault injection in the flash stack
+	// (internal/fault). The zero value disables it; a zero-rate enabled
+	// config injects nothing and leaves the timeline bit-identical.
+	Faults fault.Config
 }
 
 // Default returns the Table II configuration with the paper's default
@@ -245,6 +251,9 @@ func (c Config) Validate() error {
 	}
 	if c.Alpha <= 0 || c.Beta <= 0 {
 		return fmt.Errorf("core: Alpha/Beta must be positive: %w", errs.ErrInvalidConfig)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

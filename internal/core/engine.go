@@ -7,6 +7,7 @@ import (
 	"flashwalker/internal/bloom"
 	"flashwalker/internal/dram"
 	"flashwalker/internal/errs"
+	"flashwalker/internal/fault"
 	"flashwalker/internal/flash"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/metrics"
@@ -42,6 +43,14 @@ type wstate struct {
 	// prev is the previous vertex (second-order walks); noPrev before the
 	// first hop. Unlike the tags above it persists across routing.
 	prev graph.VertexID
+	// rng is the walk's private sampling stream (KnightKing-style), derived
+	// from the run seed per walk at seeding time. Because every hop draws
+	// from the walk's own stream — never a tier's — the trajectory depends
+	// only on the walk and the graph, not on which accelerator performs the
+	// update or when. That makes trajectories invariant under fault-induced
+	// timing shifts: injected faults change when walks finish, never where
+	// they go (the metamorphic property internal/fault relies on).
+	rng rng.RNG
 }
 
 // noPrev marks a walk that has not hopped yet.
@@ -212,6 +221,12 @@ type Engine struct {
 	checkEvery uint64
 
 	rootRNG *rng.RNG
+
+	// inj is the fault injector (nil unless Cfg.Faults.Enabled); degraded
+	// mirrors the injector's sticky per-chip flags for the router's fast
+	// path, and is nil when injection is off.
+	inj      *fault.Injector
+	degraded []bool
 }
 
 // progress snapshots the engine's headline counters. Only called from the
@@ -299,6 +314,12 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 	}
 	if e.checkEvery == 0 {
 		e.checkEvery = DefaultCheckpointEvery
+	}
+	if rc.Cfg.Faults.Enabled {
+		e.inj = fault.NewInjector(rc.Cfg.Faults, ssd.NumChips())
+		e.inj.OnDegrade = e.chipDegraded
+		e.degraded = make([]bool, ssd.NumChips())
+		ssd.AttachFaults(e.inj)
 	}
 
 	for i := range e.blockPos {
@@ -405,6 +426,9 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	e.res.DRAMReadBytes = e.dr.ReadBytes
 	e.res.DRAMWriteBytes = e.dr.WriteBytes
 	e.res.DRAMPortUtil = e.dr.Utilization()
+	if e.inj != nil {
+		e.res.Faults = e.inj.Counters
+	}
 	e.collectTierStats()
 	if e.onProgress != nil {
 		e.onProgress(e.progress())

@@ -25,19 +25,48 @@ type hopOutcome struct {
 // decideHop computes a walk update. The decision is made at dispatch time
 // (before the updater's service interval elapses) so the service time can
 // include the data-dependent ITS cost; the simulation stays deterministic
-// because the RNG stream belongs to the deciding accelerator.
-func (e *Engine) decideHop(r *rng.RNG, st wstate) hopOutcome {
+// because every draw comes from the walk's private RNG stream (wstate.rng),
+// making the trajectory independent of which tier updates the walk and of
+// any fault-induced timing shifts.
+func (e *Engine) decideHop(st wstate) hopOutcome {
 	deg := e.g.OutDegree(st.w.Cur)
 	if deg == 0 {
 		return hopOutcome{next: st, terminal: true, deadEnd: true}
 	}
+	out := st
+	r := &out.rng
 	var idx uint64
 	var extra, probes int
-	switch {
-	case st.denseBlock >= 0:
+	if st.denseBlock >= 0 {
 		// Pre-walking already chose the edge (§III-D); the updater just
 		// dereferences it.
 		idx = st.denseEdge
+	} else {
+		idx, extra, probes = e.chooseNextEdge(r, st, deg)
+	}
+	out.prev = st.w.Cur
+	out.w.Cur = e.g.OutEdges(st.w.Cur)[idx]
+	out.w.Hop--
+	out.clearTags()
+	if e.res.Visits != nil {
+		e.res.Visits[out.w.Cur]++
+	}
+	return hopOutcome{
+		next:         out,
+		terminal:     e.spec.TerminatesAfterHop(r, &out.w),
+		extraOps:     extra,
+		filterProbes: probes,
+	}
+}
+
+// chooseNextEdge draws st's next edge index for a vertex of degree deg from
+// r (the walk's own stream). Factored out of decideHop so the board's dense
+// pre-walk (route.go) consumes the stream exactly as a direct update would:
+// a dense vertex can also sit inside a non-dense block's vertex range, and
+// whether such a walk is pre-walked or updated in place is timing-dependent,
+// so both paths must make identical draws.
+func (e *Engine) chooseNextEdge(r *rng.RNG, st wstate, deg uint64) (idx uint64, extra, probes int) {
+	switch {
 	case e.spec.Kind == walk.SecondOrder && st.prev != noPrev:
 		// Dynamic (node2vec) sampling: rejection with the DRAM-resident
 		// edge Bloom filter standing in for the previous vertex's
@@ -57,20 +86,7 @@ func (e *Engine) decideHop(r *rng.RNG, st wstate) hopOutcome {
 	default:
 		idx, extra = e.spec.ChooseEdge(r, deg, e.g.OutCumWeights(st.w.Cur))
 	}
-	out := st
-	out.prev = st.w.Cur
-	out.w.Cur = e.g.OutEdges(st.w.Cur)[idx]
-	out.w.Hop--
-	out.clearTags()
-	if e.res.Visits != nil {
-		e.res.Visits[out.w.Cur]++
-	}
-	return hopOutcome{
-		next:         out,
-		terminal:     e.spec.TerminatesAfterHop(r, &out.w),
-		extraOps:     extra,
-		filterProbes: probes,
-	}
+	return idx, extra, probes
 }
 
 // chargeFilterProbes accounts the DRAM accesses (and, for chip-level

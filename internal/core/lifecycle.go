@@ -21,7 +21,10 @@ func (e *Engine) seedWalksFrom(starts []graph.VertexID, n int) {
 	e.remaining = len(ws)
 	e.res.Started = len(ws)
 	for i := range ws {
-		st := wstate{w: ws[i], denseBlock: -1, rangeTag: -1, prev: noPrev}
+		// Each walk gets its own derived RNG stream so its trajectory is
+		// independent of scheduling and of injected faults (see wstate.rng).
+		st := wstate{w: ws[i], denseBlock: -1, rangeTag: -1, prev: noPrev,
+			rng: *e.rootRNG.Derive(uint64(i))}
 		if e.res.Visits != nil {
 			e.res.Visits[st.w.Cur]++
 		}

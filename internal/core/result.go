@@ -1,6 +1,7 @@
 package core
 
 import (
+	"flashwalker/internal/fault"
 	"flashwalker/internal/flash"
 	"flashwalker/internal/metrics"
 	"flashwalker/internal/sim"
@@ -42,6 +43,11 @@ type Result struct {
 	CompletedFlushes  uint64 // completed-walk buffer flushes
 	GuiderStalls      uint64 // chip guider stalls on a full roving buffer
 	PartitionSwitches uint64
+
+	// Fault-injection outcome (all zero unless Config.Faults.Enabled).
+	Faults         fault.Counters
+	FaultReroutes  uint64 // walks rerouted from degraded chips to their channel
+	FailoverBlocks uint64 // blocks failed over into channel hot sets
 
 	// Utilizations at completion (0..1).
 	ChipUpdaterUtil    float64

@@ -2,7 +2,6 @@ package core
 
 import (
 	"flashwalker/internal/partition"
-	"flashwalker/internal/walk"
 )
 
 // This file holds the board-level routing decision logic — the one place a
@@ -45,14 +44,11 @@ func (b *boardAccel) classify(st wstate) routeDecision {
 		if meta, ok := e.part.Dense.Lookup(st.w.Cur); ok {
 			// Pre-walking: choose the next edge now, before loading any of
 			// the dense vertex's graph blocks, and route the walk to the
-			// block holding that edge.
-			var idx uint64
-			var extra int
-			if e.spec.Kind == walk.Biased {
-				idx, extra = e.spec.ChooseEdge(b.rng, meta.OutDegree, e.g.OutCumWeights(st.w.Cur))
-			} else {
-				idx = b.rng.Uint64n(meta.OutDegree)
-			}
+			// block holding that edge. The draw comes from the walk's own
+			// stream via the same sampler decideHop uses, so pre-walked and
+			// directly-updated paths consume the stream identically.
+			idx, extra, probes := e.chooseNextEdge(&d.st.rng, st, meta.OutDegree)
+			e.chargeFilterProbes(hopOutcome{filterProbes: probes}, nil)
 			d.ops += 1 + extra
 			blockID, _ := partition.DenseBlockFor(meta, idx)
 			d.st.denseBlock = blockID

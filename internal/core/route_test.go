@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"flashwalker/internal/graph"
+	"flashwalker/internal/rng"
 	"flashwalker/internal/walk"
 )
 
@@ -24,9 +25,12 @@ func newRouteEngine(t *testing.T, g *graph.Graph, rc RunConfig) *Engine {
 	return e
 }
 
-// routeWalk is a fresh, untagged walk sitting at v.
+// routeWalk is a fresh, untagged walk sitting at v. The walk gets its own
+// seeded RNG stream (a zero-value stream is degenerate and must never be
+// drawn from).
 func routeWalk(v graph.VertexID) wstate {
-	return wstate{w: walk.Walk{Src: v, Cur: v, Hop: 6}, denseBlock: -1, rangeTag: -1, prev: noPrev}
+	return wstate{w: walk.Walk{Src: v, Cur: v, Hop: 6}, denseBlock: -1, rangeTag: -1, prev: noPrev,
+		rng: *rng.New(uint64(v) + 1)}
 }
 
 // firstNonDense returns the first non-dense block of partition p and a

@@ -18,7 +18,12 @@ import (
 // pendingMem[p]); if the buffer fills, every buffered foreigner is flushed
 // to flash (§III-C/D).
 func (e *Engine) demoteWalk(p int, st wstate) {
-	st.clearTags()
+	// Only the range tag is partition-relative; the dense pre-walk decision
+	// (denseBlock/denseEdge) is globally valid and already consumed a draw
+	// from the walk's RNG stream, so it must survive demotion — clearing it
+	// would make the walk re-draw when its partition starts, desyncing the
+	// stream between runs whose demotion timing differs.
+	st.rangeTag = -1
 	if e.pendingMem[p] == nil {
 		e.pendingMem[p] = e.getWalkBuf()
 	}

@@ -5,7 +5,6 @@ import (
 
 	"flashwalker/internal/graph"
 	"flashwalker/internal/partition"
-	"flashwalker/internal/rng"
 	"flashwalker/internal/sim"
 )
 
@@ -53,15 +52,16 @@ type TierStats struct {
 }
 
 // tierCommon is the state and behaviour every accelerator tier shares: the
-// updater/guider unit pools, the per-tier RNG stream, the hot-subgraph
-// index, and the hot-update walk queue. chipAccel, channelAccel and
-// boardAccel embed it; the chip tier leaves the hot index empty (its
-// residency is slot-driven, see chipSlot).
+// updater/guider unit pools, the hot-subgraph index, and the hot-update
+// walk queue. chipAccel, channelAccel and boardAccel embed it; the chip
+// tier leaves the hot index empty (its residency is slot-driven, see
+// chipSlot). Tiers hold no RNG: all sampling draws come from the walk's
+// own stream (wstate.rng), so outcomes do not depend on which tier runs
+// the update.
 type tierCommon struct {
 	e       *Engine
 	updater *unitPool
 	guider  *unitPool
-	rng     *rng.RNG
 
 	hot      *hotIndex
 	hotReady bool
@@ -125,7 +125,7 @@ func (t *tierCommon) tryHotUpdate(st wstate) bool {
 func (t *tierCommon) EnqueueUpdate(st wstate) {
 	e := t.e
 	size := st.sizeBytes()
-	h := e.decideHop(t.rng, st)
+	h := e.decideHop(st)
 	e.chargeFilterProbes(h, nil)
 	ref, n := e.newNode()
 	n.st, n.prevSize = h.next, size

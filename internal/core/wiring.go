@@ -15,7 +15,6 @@ func (e *Engine) buildAccelerators() {
 				e:            e,
 				updater:      newUnitPool(e.eng, e.cfg.ChipUpdaters),
 				guider:       newUnitPool(e.eng, e.cfg.ChipGuiders),
-				rng:          e.rootRNG.Derive(uint64(1000 + i)),
 				level:        tierChip,
 				updaterCycle: e.cfg.ChipUpdaterCycle,
 				guiderCycle:  e.cfg.ChipGuiderCycle,
@@ -36,7 +35,6 @@ func (e *Engine) buildAccelerators() {
 				e:            e,
 				updater:      newUnitPool(e.eng, e.cfg.ChannelUpdaters),
 				guider:       newUnitPool(e.eng, e.cfg.ChannelGuiders),
-				rng:          e.rootRNG.Derive(uint64(2000 + ch)),
 				level:        tierChannel,
 				updaterCycle: e.cfg.ChannelUpdaterCycle,
 				guiderCycle:  e.cfg.ChannelGuiderCycle,
@@ -56,7 +54,6 @@ func (e *Engine) buildAccelerators() {
 			e:            e,
 			updater:      newUnitPool(e.eng, e.cfg.BoardUpdaters),
 			guider:       newUnitPool(e.eng, e.cfg.BoardGuiders),
-			rng:          e.rootRNG.Derive(3000),
 			level:        tierBoard,
 			updaterCycle: e.cfg.BoardUpdaterCycle,
 			guiderCycle:  e.cfg.BoardGuiderCycle,
@@ -87,40 +84,43 @@ func (e *Engine) selectHotSubgraphs() {
 		return
 	}
 	sums := e.part.InDegreeSums()
-	pick := func(candidates []int, capBytes int64) []int {
-		budget := capBytes
-		// Selection sort of the top items by in-degree sum; candidate lists
-		// are small (blocks per channel).
-		chosen := []int{}
-		used := map[int]bool{}
-		for {
-			best, bestSum := -1, uint64(0)
-			for _, id := range candidates {
-				b := &e.part.Blocks[id]
-				if used[id] || b.Dense || b.Bytes > budget {
-					continue
-				}
-				if best == -1 || sums[id] > bestSum {
-					best, bestSum = id, sums[id]
-				}
-			}
-			if best == -1 {
-				break
-			}
-			used[best] = true
-			budget -= e.part.Blocks[best].Bytes
-			chosen = append(chosen, best)
-		}
-		return chosen
-	}
 	all := make([]int, e.part.NumBlocks())
 	for i := range all {
 		all[i] = i
 	}
-	e.board.SetHotBlocks(pick(all, e.cfg.BoardSubgraphBufBytes))
+	e.board.SetHotBlocks(e.pickHotBlocks(sums, all, e.cfg.BoardSubgraphBufBytes, map[int]bool{}))
 	for ch, ca := range e.chans {
-		ca.SetHotBlocks(pick(e.place.BlocksOnChannel(ch), e.cfg.ChannelSubgraphBufBytes))
+		ca.SetHotBlocks(e.pickHotBlocks(sums, e.place.BlocksOnChannel(ch),
+			e.cfg.ChannelSubgraphBufBytes, map[int]bool{}))
 	}
+}
+
+// pickHotBlocks greedily selects the top in-degree non-dense candidates that
+// fit in budget bytes, skipping (and marking) blocks already in used. Shared
+// by the initial hot-subgraph selection and the degraded-chip failover
+// (degrade.go). Selection sort: candidate lists are small (blocks per
+// channel).
+func (e *Engine) pickHotBlocks(sums []uint64, candidates []int, budget int64, used map[int]bool) []int {
+	chosen := []int{}
+	for {
+		best, bestSum := -1, uint64(0)
+		for _, id := range candidates {
+			b := &e.part.Blocks[id]
+			if used[id] || b.Dense || b.Bytes > budget {
+				continue
+			}
+			if best == -1 || sums[id] > bestSum {
+				best, bestSum = id, sums[id]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		budget -= e.part.Blocks[best].Bytes
+		chosen = append(chosen, best)
+	}
+	return chosen
 }
 
 // preloadHotSubgraphs reads hot blocks into the channel and board buffers

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"flashwalker/internal/errs"
+	"flashwalker/internal/sim"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero value should validate: %v", err)
+	}
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default should validate: %v", err)
+	}
+	bad := []Config{
+		{ReadErrorRate: -0.1},
+		{ReadErrorRate: 1.5},
+		{ReadErrorRate: math.NaN()},
+		{PlaneBusyRate: 2},
+		{PlaneBusyTime: -sim.Microsecond},
+		{RetryBackoff: -1},
+		{DegradedReadPenalty: -1},
+		{MaxRetries: -1},
+		{MaxRetries: maxRetriesCap + 1},
+		{DegradeAfterErrors: -1},
+	}
+	for i, c := range bad {
+		err := c.Validate()
+		if err == nil {
+			t.Fatalf("case %d: %+v should fail validation", i, c)
+		}
+		if !errors.Is(err, errs.ErrInvalidConfig) {
+			t.Fatalf("case %d: error %v does not wrap ErrInvalidConfig", i, err)
+		}
+	}
+}
+
+// drive makes a fixed call sequence against the injector and returns the
+// resulting counters.
+func drive(in *Injector, n int) Counters {
+	for i := 0; i < n; i++ {
+		chip := i % 4
+		in.ReadIssueDelay(chip)
+		if in.ReadFails(chip) {
+			attempt := 0
+			for attempt < in.MaxRetries() && in.ReadFails(chip) {
+				in.RetryDelay(attempt)
+				attempt++
+			}
+			if attempt == in.MaxRetries() {
+				in.RetryExhausted()
+			}
+		}
+	}
+	return in.Counters
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Default()
+	a := drive(NewInjector(cfg, 4), 5000)
+	b := drive(NewInjector(cfg, 4), 5000)
+	if a != b {
+		t.Fatalf("same seed produced different fault sequences:\n%+v\n%+v", a, b)
+	}
+	if a.ReadErrors == 0 || a.PlaneBusyStalls == 0 {
+		t.Fatalf("default profile injected nothing over 5000 senses: %+v", a)
+	}
+	cfg.Seed++
+	c := drive(NewInjector(cfg, 4), 5000)
+	if a == c {
+		t.Fatalf("different fault seeds produced identical counters: %+v", a)
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	cfg := Default()
+	cfg.ReadErrorRate = 0
+	cfg.PlaneBusyRate = 0
+	in := NewInjector(cfg, 4)
+	for i := 0; i < 1000; i++ {
+		if d := in.ReadIssueDelay(i % 4); d != 0 {
+			t.Fatalf("zero-rate injector delayed a sense by %v", d)
+		}
+		if in.ReadFails(i % 4) {
+			t.Fatal("zero-rate injector failed a read")
+		}
+	}
+	if in.Counters != (Counters{}) {
+		t.Fatalf("zero-rate injector counted faults: %+v", in.Counters)
+	}
+}
+
+func TestDegradationStickyAndSignaledOnce(t *testing.T) {
+	cfg := Config{
+		Enabled:             true,
+		ReadErrorRate:       1, // every sense fails
+		DegradeAfterErrors:  3,
+		DegradedReadPenalty: 7 * sim.Microsecond,
+	}
+	in := NewInjector(cfg, 2)
+	var degraded []int
+	in.OnDegrade = func(chip int) { degraded = append(degraded, chip) }
+	for i := 0; i < 10; i++ {
+		in.ReadFails(1)
+	}
+	if len(degraded) != 1 || degraded[0] != 1 {
+		t.Fatalf("expected exactly one degrade signal for chip 1, got %v", degraded)
+	}
+	if !in.Degraded(1) || in.Degraded(0) {
+		t.Fatalf("degradation flags wrong: chip0=%v chip1=%v", in.Degraded(0), in.Degraded(1))
+	}
+	if in.Counters.DegradedChips != 1 {
+		t.Fatalf("DegradedChips = %d, want 1", in.Counters.DegradedChips)
+	}
+	if d := in.ReadIssueDelay(1); d != cfg.DegradedReadPenalty {
+		t.Fatalf("degraded chip sense delay = %v, want %v", d, cfg.DegradedReadPenalty)
+	}
+	if d := in.ReadIssueDelay(0); d != 0 {
+		t.Fatalf("healthy chip sense delay = %v, want 0", d)
+	}
+}
+
+func TestRetryDelayExponential(t *testing.T) {
+	cfg := Config{RetryBackoff: 10 * sim.Microsecond, MaxRetries: 4}
+	in := NewInjector(cfg, 1)
+	for attempt, want := range []sim.Time{
+		10 * sim.Microsecond, 20 * sim.Microsecond, 40 * sim.Microsecond, 80 * sim.Microsecond,
+	} {
+		if d := in.RetryDelay(attempt); d != want {
+			t.Fatalf("RetryDelay(%d) = %v, want %v", attempt, d, want)
+		}
+	}
+	if in.Counters.Retries != 4 || in.Counters.BackoffTime != 150*sim.Microsecond {
+		t.Fatalf("retry accounting wrong: %+v", in.Counters)
+	}
+}

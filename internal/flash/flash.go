@@ -16,6 +16,7 @@ package flash
 import (
 	"fmt"
 
+	"flashwalker/internal/fault"
 	"flashwalker/internal/metrics"
 	"flashwalker/internal/sim"
 )
@@ -121,6 +122,13 @@ type SSD struct {
 	ops    []flashOp
 	freeOp int32
 
+	// faults, when non-nil, injects read errors, plane-busy stalls, and
+	// chip degradation into the sense path. nil (the default) keeps the
+	// fault-free code path bit-identical to builds before injection
+	// existed; an attached injector with all rates at zero draws nothing
+	// and is likewise timing-identical (see package fault).
+	faults *fault.Injector
+
 	// Optional time series, attached by the harness for Figure 8.
 	ReadTS    *metrics.TimeSeries
 	WriteTS   *metrics.TimeSeries
@@ -176,6 +184,14 @@ func (s *SSD) Chip(idx int) *Chip {
 
 // NumChips reports the chip count.
 func (s *SSD) NumChips() int { return s.Cfg.NumChips() }
+
+// AttachFaults installs a fault injector on the sense path. Call before the
+// simulation starts; nil detaches. The injector's draws happen in event
+// order, so a given (workload seed, fault seed) pair replays exactly.
+func (s *SSD) AttachFaults(inj *fault.Injector) { s.faults = inj }
+
+// Faults returns the attached injector (nil when fault-free).
+func (s *SSD) Faults() *fault.Injector { return s.faults }
 
 func (s *SSD) recordRead(at sim.Time, bytes int64) {
 	s.Counters.ReadPages++
@@ -269,16 +285,24 @@ func (s *SSD) opPart(idx int32) {
 }
 
 // HandleEvent advances the per-part timelines. A = op index, B = global chip
-// index (stages that still need the chip), C = payload bytes (arbitrary
-// transfers). It is exported only to satisfy sim.Handler.
+// index (stages that still need the chip), C = payload bytes for arbitrary
+// transfers, or plane|attempt<<32 for the sense kinds (the retry path needs
+// both to re-acquire the same plane). It is exported only to satisfy
+// sim.Handler.
 func (s *SSD) HandleEvent(ev sim.Event) {
 	now := s.Eng.Now()
 	switch ev.Kind {
 	case fkReadDone:
 		s.recordRead(now, s.Cfg.PageBytes)
+		if s.retryRead(now, ev) {
+			return
+		}
 		s.opPart(ev.A)
 	case fkSensedChan:
 		s.recordRead(now, s.Cfg.PageBytes)
+		if s.retryRead(now, ev) {
+			return
+		}
 		chip := s.Chip(int(ev.B))
 		xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
 		chip.Channel.Bus.AcquireAfterEvent(now, xfer,
@@ -288,6 +312,9 @@ func (s *SSD) HandleEvent(ev sim.Event) {
 		s.opPart(ev.A)
 	case fkSensedHost:
 		s.recordRead(now, s.Cfg.PageBytes)
+		if s.retryRead(now, ev) {
+			return
+		}
 		chip := s.Chip(int(ev.B))
 		xfer := sim.TransferTime(s.Cfg.PageBytes, s.Cfg.ChannelBytesPerSec)
 		chip.Channel.Bus.AcquireAfterEvent(now, xfer,
@@ -334,6 +361,54 @@ func (s *SSD) skip(done sim.Event, doneFn func()) {
 	}
 }
 
+// --- Sense path and fault injection. ---
+
+// senseService returns the plane occupancy for one page sense: ReadLatency
+// plus any injected plane-busy stall or degraded-chip penalty.
+func (s *SSD) senseService(chipID int) sim.Time {
+	lat := s.Cfg.ReadLatency
+	if s.faults != nil {
+		lat += s.faults.ReadIssueDelay(chipID)
+	}
+	return lat
+}
+
+// sense issues one page sense on the chip's next plane, recording the plane
+// index (and attempt 0) in the event payload so a failed sense can retry on
+// the same plane.
+func (s *SSD) sense(chip *Chip, kind uint16, op int32) {
+	p := chip.next
+	chip.next = (chip.next + 1) % len(chip.planes)
+	chip.planes[p].AcquireEvent(s.senseService(chip.ID),
+		sim.Event{Target: s, Kind: kind, A: op, B: int32(chip.ID), C: int64(p)})
+}
+
+// retryRead reports whether the sense that just completed failed and was
+// rescheduled. On failure the same plane is re-acquired after an exponential
+// backoff with the attempt count bumped in the payload; once MaxRetries is
+// exhausted the controller recovers the data and the operation proceeds, so
+// a fault delays but never loses an operation.
+func (s *SSD) retryRead(now sim.Time, ev sim.Event) bool {
+	if s.faults == nil {
+		return false
+	}
+	chipID := int(ev.B)
+	if !s.faults.ReadFails(chipID) {
+		return false
+	}
+	attempt := int(ev.C >> 32)
+	if attempt >= s.faults.MaxRetries() {
+		s.faults.RetryExhausted()
+		return false
+	}
+	delay := s.faults.RetryDelay(attempt)
+	chip := s.Chip(chipID)
+	plane := int(ev.C & 0xffffffff)
+	ev.C = int64(plane) | int64(attempt+1)<<32
+	chip.planes[plane].AcquireAfterEvent(now+delay, s.senseService(chipID), ev)
+	return true
+}
+
 // ReadPagesLocal reads n pages from the chip's planes into the chip-level
 // accelerator. Pages round-robin across planes; each plane senses serially
 // at ReadLatency per page. done fires when the last page is available.
@@ -354,9 +429,7 @@ func (s *SSD) readPagesLocal(chip *Chip, n int, done sim.Event, doneFn func()) {
 	}
 	op := s.newOp(n, done, doneFn)
 	for i := 0; i < n; i++ {
-		pl := chip.planes[chip.next]
-		chip.next = (chip.next + 1) % len(chip.planes)
-		pl.AcquireEvent(s.Cfg.ReadLatency, sim.Event{Target: s, Kind: fkReadDone, A: op})
+		s.sense(chip, fkReadDone, op)
 	}
 }
 
@@ -379,10 +452,7 @@ func (s *SSD) readPagesToChannel(chip *Chip, n int, done sim.Event, doneFn func(
 	}
 	op := s.newOp(n, done, doneFn)
 	for i := 0; i < n; i++ {
-		pl := chip.planes[chip.next]
-		chip.next = (chip.next + 1) % len(chip.planes)
-		pl.AcquireEvent(s.Cfg.ReadLatency,
-			sim.Event{Target: s, Kind: fkSensedChan, A: op, B: int32(chip.ID)})
+		s.sense(chip, fkSensedChan, op)
 	}
 }
 
@@ -396,10 +466,7 @@ func (s *SSD) ReadPagesToHost(chip *Chip, n int, done func()) {
 	}
 	op := s.newOp(n, sim.Event{}, done)
 	for i := 0; i < n; i++ {
-		pl := chip.planes[chip.next]
-		chip.next = (chip.next + 1) % len(chip.planes)
-		pl.AcquireEvent(s.Cfg.ReadLatency,
-			sim.Event{Target: s, Kind: fkSensedHost, A: op, B: int32(chip.ID)})
+		s.sense(chip, fkSensedHost, op)
 	}
 }
 
@@ -473,8 +540,8 @@ func (s *SSD) TransferHost(bytes int64, done func()) {
 func (s *SSD) ReadPageAt(chipIdx, plane int, done func()) {
 	op := s.newOp(1, sim.Event{}, done)
 	chip := s.Chip(chipIdx)
-	chip.planes[plane].AcquireEvent(s.Cfg.ReadLatency,
-		sim.Event{Target: s, Kind: fkReadDone, A: op})
+	chip.planes[plane].AcquireEvent(s.senseService(chipIdx),
+		sim.Event{Target: s, Kind: fkReadDone, A: op, B: int32(chipIdx), C: int64(plane)})
 }
 
 // ProgramPageAt programs one page on a specific plane of a chip.

@@ -6,6 +6,7 @@ import (
 	"flashwalker/internal/baseline"
 	"flashwalker/internal/core"
 	"flashwalker/internal/dram"
+	"flashwalker/internal/fault"
 	"flashwalker/internal/flash"
 	"flashwalker/internal/partition"
 	"flashwalker/internal/sim"
@@ -95,6 +96,23 @@ func RunFlashWalker(ctx context.Context, d Dataset, opts core.Options, numWalks 
 	}
 	rc := FlashWalkerConfig(d, opts, numWalks, seed)
 	rc.ProgressBin = progressBin
+	e, err := core.NewEngine(g, rc)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx)
+}
+
+// RunFlashWalkerFaults is RunFlashWalker under a fault-injection profile:
+// the same workload, with the flash stack perturbed by fc's deterministic
+// fault stream.
+func RunFlashWalkerFaults(ctx context.Context, d Dataset, opts core.Options, numWalks int, seed uint64, fc fault.Config) (*core.Result, error) {
+	g, err := d.Graph()
+	if err != nil {
+		return nil, err
+	}
+	rc := FlashWalkerConfig(d, opts, numWalks, seed)
+	rc.Cfg.Faults = fc
 	e, err := core.NewEngine(g, rc)
 	if err != nil {
 		return nil, err

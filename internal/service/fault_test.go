@@ -1,0 +1,110 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"flashwalker/internal/fault"
+)
+
+// testFaultConfig is a profile hot enough to inject visible faults on the
+// small TT-S dataset.
+func testFaultConfig() *fault.Config {
+	c := fault.Default()
+	c.ReadErrorRate = 0.1
+	c.PlaneBusyRate = 0.1
+	c.DegradeAfterErrors = 8
+	return &c
+}
+
+// TestSubmitInvalidFaultConfigRejected pins the submission-time contract: a
+// job whose fault_config fails validation is rejected with 400 at the API
+// boundary — it never reaches a worker, so the failure is synchronous and
+// attributable, not an async job in state "failed".
+func TestSubmitInvalidFaultConfigRejected(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 1})
+
+	bad := testFaultConfig()
+	bad.ReadErrorRate = 2 // outside [0, 1]
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", JobSpec{
+		Graph: "TT-S", NumWalks: 100, FaultConfig: bad,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid fault_config submit: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "fault_config") {
+		t.Errorf("error %s does not name fault_config", body)
+	}
+	if jobs := m.List(); len(jobs) != 0 {
+		t.Errorf("rejected job was tracked: %+v", jobs)
+	}
+	if !strings.Contains(m.Metrics(), "flashwalker_jobs_rejected_total 1") {
+		t.Error("rejection not counted in metrics")
+	}
+
+	// Other invalid shapes take the same path.
+	bad2 := testFaultConfig()
+	bad2.MaxRetries = -1
+	if resp, _ := postJSON(t, srv.URL+"/v1/jobs", JobSpec{Graph: "TT-S", FaultConfig: bad2}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative max_retries submit: %d", resp.StatusCode)
+	}
+}
+
+// TestFaultJobEndToEnd runs a fault-enabled job through the HTTP API twice
+// and checks the counters surface in the result and /metrics — and that both
+// runs agree exactly (fault injection is deterministic per (workload, seed)).
+func TestFaultJobEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+
+	spec := JobSpec{Graph: "TT-S", NumWalks: 500, Seed: 4, FaultConfig: testFaultConfig()}
+	a := pollJob(t, srv, submitJob(t, srv, spec).ID)
+	b := pollJob(t, srv, submitJob(t, srv, spec).ID)
+	if a.State != StateDone || b.State != StateDone {
+		t.Fatalf("fault jobs did not finish: %s / %s", a.State, b.State)
+	}
+	if a.Result.FaultReadErrors == 0 || a.Result.FaultRetries == 0 {
+		t.Fatalf("fault job injected nothing: %+v", a.Result)
+	}
+	if *a.Result != *b.Result {
+		t.Fatalf("identical fault jobs diverged:\n a %+v\n b %+v", a.Result, b.Result)
+	}
+
+	// A clean job on the same graph reports zero fault counters.
+	clean := pollJob(t, srv, submitJob(t, srv, JobSpec{Graph: "TT-S", NumWalks: 500, Seed: 4}).ID)
+	if clean.Result.FaultReadErrors != 0 || clean.Result.DegradedChips != 0 {
+		t.Fatalf("clean job reports faults: %+v", clean.Result)
+	}
+	// Faults must not change walk outcomes (the metamorphic guarantee,
+	// visible end to end through the API).
+	if clean.Result.Completed != a.Result.Completed || clean.Result.Hops != a.Result.Hops {
+		t.Fatalf("faults changed outcomes: clean completed=%d hops=%d, faulty completed=%d hops=%d",
+			clean.Result.Completed, clean.Result.Hops, a.Result.Completed, a.Result.Hops)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metrics := buf.String()
+	for _, name := range []string{
+		"flashwalker_fault_read_errors_total",
+		"flashwalker_fault_retries_total",
+		"flashwalker_fault_plane_busy_stalls_total",
+		"flashwalker_fault_chips_degraded_total",
+		"flashwalker_fault_reroutes_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+		if strings.Contains(metrics, name+" 0\n") && strings.HasPrefix(name, "flashwalker_fault_read") {
+			t.Errorf("%s stayed zero after a fault-enabled job", name)
+		}
+	}
+}

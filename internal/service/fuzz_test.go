@@ -1,0 +1,61 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"flashwalker/internal/errs"
+)
+
+// FuzzJobSpecDecode hardens the submission path's pure half: arbitrary bytes
+// either fail JSON decoding, fail shape validation with a typed
+// errs.ErrInvalidConfig (so the HTTP layer maps them to 400), or yield a spec
+// with a recognized kind. It must never panic and never classify a bad spec
+// as anything but an invalid-config error — fault_config included, since that
+// is the field the worker would otherwise choke on asynchronously.
+func FuzzJobSpecDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"kind":"flashwalker","graph":"TT-S","num_walks":100,"seed":7}`,
+		`{"kind":"graphwalker","graph":"TT-S","mem_bytes":1048576}`,
+		`{"kind":"bogus"}`,
+		`{"num_walks":-1}`,
+		`{"mem_bytes":-5}`,
+		`{"fault_config":{"enabled":true,"seed":64023,"read_error_rate":0.02,"plane_busy_rate":0.05,"plane_busy_time":25000,"max_retries":4,"retry_backoff":10000,"degrade_after_errors":64,"degraded_read_penalty":35000}}`,
+		`{"fault_config":{"enabled":true,"read_error_rate":2}}`,
+		`{"fault_config":{"max_retries":-1}}`,
+		`{"fault_config":{"max_retries":1000}}`,
+		`{"fault_config":{"retry_backoff":-1}}`,
+		`{"fault_config":null}`,
+		`{"checkpoint_every":18446744073709551615}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		err := spec.validate()
+		if err != nil {
+			if !errors.Is(err, errs.ErrInvalidConfig) {
+				t.Fatalf("validate returned an untyped error: %v", err)
+			}
+			return
+		}
+		// A spec that validates must be fully normalized in shape: a
+		// recognized kind and non-negative scalars.
+		if spec.Kind != KindFlashWalker && spec.Kind != KindGraphWalker {
+			t.Fatalf("validated spec has kind %q", spec.Kind)
+		}
+		if spec.NumWalks < 0 || spec.MemBytes < 0 {
+			t.Fatalf("validated spec kept negative scalars: %+v", spec)
+		}
+		if spec.FaultConfig != nil {
+			if fc := *spec.FaultConfig; fc.MaxRetries < 0 || fc.RetryBackoff < 0 {
+				t.Fatalf("validated spec kept invalid fault_config: %+v", fc)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"flashwalker/internal/baseline"
 	"flashwalker/internal/core"
 	"flashwalker/internal/errs"
+	"flashwalker/internal/fault"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/walk"
@@ -60,11 +61,17 @@ type JobSpec struct {
 	// CheckpointEvery overrides the event interval between cancellation
 	// checks and progress snapshots; 0 uses the engine default.
 	CheckpointEvery uint64 `json:"checkpoint_every"`
+	// FaultConfig, when non-nil, enables deterministic fault injection for
+	// FlashWalker jobs (ignored by the host baseline). An invalid config is
+	// rejected at submission — 400, not an async worker failure.
+	FaultConfig *fault.Config `json:"fault_config,omitempty"`
 }
 
-// normalize fills defaults and validates; registry lookup happens at
-// submission so unknown graphs fail the request, not the worker.
-func (s *JobSpec) normalize(reg *Registry) error {
+// validate is the pure half of normalize: shape checks only, no registry
+// access, no I/O. The fuzz target drives it directly with arbitrary decoded
+// specs, so it must reject every bad shape with errs.ErrInvalidConfig and
+// never panic.
+func (s *JobSpec) validate() error {
 	if s.Kind == "" {
 		s.Kind = KindFlashWalker
 	}
@@ -76,6 +83,20 @@ func (s *JobSpec) normalize(reg *Registry) error {
 	}
 	if s.MemBytes < 0 {
 		return fmt.Errorf("service: mem_bytes must be non-negative: %w", errs.ErrInvalidConfig)
+	}
+	if s.FaultConfig != nil {
+		if err := s.FaultConfig.Validate(); err != nil {
+			return fmt.Errorf("service: fault_config: %w", err)
+		}
+	}
+	return nil
+}
+
+// normalize fills defaults and validates; registry lookup happens at
+// submission so unknown graphs fail the request, not the worker.
+func (s *JobSpec) normalize(reg *Registry) error {
+	if err := s.validate(); err != nil {
+		return err
 	}
 	if s.MemBytes == 0 {
 		s.MemBytes = harness.GWMem8GB
@@ -114,6 +135,15 @@ type JobResult struct {
 	// Partial marks a result snapshotted at a cancellation boundary
 	// rather than at completion.
 	Partial bool `json:"partial"`
+	// Fault-injection outcome; all zero when the job ran without a
+	// FaultConfig.
+	FaultReadErrors  uint64 `json:"fault_read_errors,omitempty"`
+	FaultRetries     uint64 `json:"fault_retries,omitempty"`
+	FaultStalls      uint64 `json:"fault_plane_busy_stalls,omitempty"`
+	DegradedChips    uint64 `json:"degraded_chips,omitempty"`
+	FaultReroutes    uint64 `json:"fault_reroutes,omitempty"`
+	FailoverBlocks   uint64 `json:"failover_blocks,omitempty"`
+	RetriesExhausted uint64 `json:"fault_retries_exhausted,omitempty"`
 }
 
 // Job is one tracked run. Fields under mu change as the job advances; the
@@ -366,6 +396,9 @@ func (m *Manager) run(j *Job) {
 func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds harness.Dataset) (*JobResult, error) {
 	rc := harness.FlashWalkerConfig(ds, core.AllOptions(), j.Spec.NumWalks, j.Spec.Seed)
 	rc.CheckpointEvery = j.Spec.CheckpointEvery
+	if j.Spec.FaultConfig != nil {
+		rc.Cfg.Faults = *j.Spec.FaultConfig
+	}
 	rc.OnProgress = func(p core.Progress) {
 		j.progress.Store(&Progress{
 			SimTimeNS: int64(p.Now), Events: p.Events,
@@ -385,7 +418,14 @@ func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 		SimTimeNS: int64(r.Time), Started: r.Started, Completed: r.Completed,
 		DeadEnded: r.DeadEnded, Hops: r.Hops, HopRate: r.HopRate(),
 		FlashReadBytes: r.Flash.ReadBytes, FlashWriteBytes: r.Flash.WriteBytes,
-		Partial: err != nil,
+		Partial:          err != nil,
+		FaultReadErrors:  r.Faults.ReadErrors,
+		FaultRetries:     r.Faults.Retries,
+		FaultStalls:      r.Faults.PlaneBusyStalls,
+		DegradedChips:    r.Faults.DegradedChips,
+		FaultReroutes:    r.FaultReroutes,
+		FailoverBlocks:   r.FailoverBlocks,
+		RetriesExhausted: r.Faults.RetriesExhausted,
 	}, err
 }
 
@@ -446,5 +486,10 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 	if res != nil {
 		m.metrics.walksFinished.Add(int64(res.Completed + res.DeadEnded))
 		m.metrics.hops.Add(int64(res.Hops))
+		m.metrics.faultReadErrors.Add(int64(res.FaultReadErrors))
+		m.metrics.faultRetries.Add(int64(res.FaultRetries))
+		m.metrics.faultStalls.Add(int64(res.FaultStalls))
+		m.metrics.chipsDegraded.Add(int64(res.DegradedChips))
+		m.metrics.faultReroutes.Add(int64(res.FaultReroutes))
 	}
 }

@@ -18,6 +18,13 @@ type managerMetrics struct {
 	running       atomic.Int64
 	walksFinished atomic.Int64
 	hops          atomic.Int64
+
+	// Fault-injection aggregates across fault-enabled jobs.
+	faultReadErrors atomic.Int64
+	faultRetries    atomic.Int64
+	faultStalls     atomic.Int64
+	chipsDegraded   atomic.Int64
+	faultReroutes   atomic.Int64
 }
 
 // Metrics renders the service counters in Prometheus text format.
@@ -36,6 +43,11 @@ func (m *Manager) Metrics() string {
 	counter("flashwalker_jobs_rejected_total", "Submissions rejected (validation or full queue).", m.metrics.rejected.Load())
 	counter("flashwalker_walks_finished_total", "Walks finished across all jobs (including partial runs).", m.metrics.walksFinished.Load())
 	counter("flashwalker_hops_total", "Walk hops simulated across all jobs.", m.metrics.hops.Load())
+	counter("flashwalker_fault_read_errors_total", "Injected uncorrectable read errors across fault-enabled jobs.", m.metrics.faultReadErrors.Load())
+	counter("flashwalker_fault_retries_total", "Read retries issued in response to injected errors.", m.metrics.faultRetries.Load())
+	counter("flashwalker_fault_plane_busy_stalls_total", "Injected plane-busy stalls.", m.metrics.faultStalls.Load())
+	counter("flashwalker_fault_chips_degraded_total", "Chips driven into sticky degradation.", m.metrics.chipsDegraded.Load())
+	counter("flashwalker_fault_reroutes_total", "Walks rerouted from degraded chips to their channel accelerator.", m.metrics.faultReroutes.Load())
 	gauge("flashwalker_jobs_running", "Jobs currently executing.", m.metrics.running.Load())
 	gauge("flashwalker_queue_depth", "Jobs waiting in the bounded queue.", int64(len(m.queue)))
 	gauge("flashwalker_queue_capacity", "Bounded queue capacity.", int64(cap(m.queue)))
