@@ -35,6 +35,7 @@ func main() {
 	energy := flag.Bool("energy", false, "run the energy-comparison extension experiment")
 	algos := flag.Bool("algorithms", false, "run the walk-algorithm extension experiment")
 	faults := flag.Bool("faults", false, "run the fault-injection extension experiment (clean vs default fault profile)")
+	resume := flag.Bool("resume", false, "run the snapshot/resume extension experiment (uninterrupted vs snapshot->resume)")
 	all := flag.Bool("all", false, "run every table and figure")
 	scale := flag.Float64("scale", 1.0, "walk-count scale factor")
 	seed := flag.Uint64("seed", 1, "root seed")
@@ -72,7 +73,7 @@ func main() {
 		*figs = "1,5,6,7,8,9"
 		*tables = "1,2,3,4"
 	}
-	if *figs == "" && *tables == "" && !*energy && !*algos && !*faults {
+	if *figs == "" && *tables == "" && !*energy && !*algos && !*faults && !*resume {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -114,6 +115,18 @@ func main() {
 		fmt.Println(harness.FormatExtFaults(rows))
 		if err := saveCSV("faults.csv", func(w *os.File) error {
 			return harness.FaultsCSV(w, rows)
+		}); err != nil {
+			fail(err)
+		}
+	}
+	if *resume {
+		rows, err := harness.ExtResume(ctx, *scale, *seed, *parallel)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatExtResume(rows))
+		if err := saveCSV("resume.csv", func(w *os.File) error {
+			return harness.ResumeCSV(w, rows)
 		}); err != nil {
 			fail(err)
 		}

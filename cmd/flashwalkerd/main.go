@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	flashwalkerd [-addr :8080] [-workers 2] [-queue 16]
+//	flashwalkerd [-addr :8080] [-workers 2] [-queue 16] [-state-dir DIR]
+//
+// With -state-dir, jobs are durable: specs are journaled at submission,
+// running engines checkpoint to snapshot files at their checkpoint_every
+// cadence, and a restarted daemon recovers the journal — finished jobs as
+// history, unfinished ones re-enqueued and resumed from their last
+// snapshot. A SIGKILLed daemon restarted on the same state directory
+// finishes its jobs with results identical to an uninterrupted run.
 //
 // Endpoints (see internal/service):
 //
@@ -42,21 +49,25 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "concurrent jobs")
 	queue := flag.Int("queue", 16, "bounded job queue depth")
+	stateDir := flag.String("state-dir", "", "durable job state directory (empty: in-memory only)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue); err != nil {
+	if err := run(*addr, *workers, *queue, *stateDir); err != nil {
 		fmt.Fprintln(os.Stderr, "flashwalkerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int) error {
+func run(addr string, workers, queue int, stateDir string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	m := service.NewManager(service.NewRegistry(), service.Config{
-		Workers: workers, QueueDepth: queue,
+	m, err := service.NewManager(service.NewRegistry(), service.Config{
+		Workers: workers, QueueDepth: queue, StateDir: stateDir,
 	})
+	if err != nil {
+		return err
+	}
 	defer m.Close()
 
 	srv := &http.Server{

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// daemon is one flashwalkerd process under test.
+type daemon struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon launches the built binary against stateDir and waits for
+// /healthz to answer.
+func startDaemon(t *testing.T, bin, stateDir string, port int) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-workers", "1",
+		"-state-dir", stateDir,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start flashwalkerd: %v", err)
+	}
+	d := &daemon{t: t, cmd: cmd, base: fmt.Sprintf("http://127.0.0.1:%d", port)}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			d.kill()
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill delivers SIGKILL — the crash under test, not a graceful drain.
+func (d *daemon) kill() {
+	_ = d.cmd.Process.Signal(syscall.SIGKILL)
+	_, _ = d.cmd.Process.Wait()
+}
+
+// jobView is the subset of the job status JSON the test asserts on.
+type jobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result *struct {
+		SimTimeNS int64  `json:"sim_time_ns"`
+		Completed int    `json:"completed"`
+		DeadEnded int    `json:"dead_ended"`
+		Hops      uint64 `json:"hops"`
+		Partial   bool   `json:"partial"`
+	} `json:"result"`
+}
+
+func (d *daemon) submit(spec map[string]any) jobView {
+	d.t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		d.t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		d.t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var jv jobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		d.t.Fatalf("submit decode: %v", err)
+	}
+	return jv
+}
+
+func (d *daemon) get(id string) jobView {
+	d.t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id)
+	if err != nil {
+		d.t.Fatalf("get %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.t.Fatalf("get %s status %d", id, resp.StatusCode)
+	}
+	var jv jobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		d.t.Fatalf("get %s decode: %v", id, err)
+	}
+	return jv
+}
+
+func (d *daemon) waitDone(id string, timeout time.Duration) jobView {
+	d.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		jv := d.get(id)
+		switch jv.State {
+		case "done":
+			return jv
+		case "failed", "canceled":
+			d.t.Fatalf("job %s terminal state %q: %s", id, jv.State, jv.Error)
+		}
+		if time.Now().After(deadline) {
+			d.t.Fatalf("job %s still %q after %v", id, jv.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// TestCrashRecovery is the end-to-end durability proof: a daemon with a
+// state directory is SIGKILLed while a job is mid-run with a snapshot on
+// disk; a fresh daemon on the same state directory must finish the job
+// with a result identical to an uninterrupted run of the same spec.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "flashwalkerd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	spec := map[string]any{
+		"graph": "TT-S", "num_walks": 20_000, "seed": 7, "checkpoint_every": 64,
+	}
+
+	// Reference: the same spec run to completion with no interruption.
+	refDir := t.TempDir()
+	dr := startDaemon(t, bin, refDir, freePort(t))
+	refJob := dr.submit(spec)
+	ref := dr.waitDone(refJob.ID, 2*time.Minute)
+	dr.kill()
+	if ref.Result == nil || ref.Result.Partial {
+		t.Fatalf("reference result unusable: %+v", ref.Result)
+	}
+
+	// Victim: submit, wait for a snapshot to land, SIGKILL mid-run.
+	stateDir := t.TempDir()
+	d1 := startDaemon(t, bin, stateDir, freePort(t))
+	job := d1.submit(spec)
+	snapPath := filepath.Join(stateDir, "snapshots", job.ID+".snap")
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if fi, err := os.Stat(snapPath); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			d1.kill()
+			t.Fatal("running job never wrote a snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if jv := d1.get(job.ID); jv.State == "done" {
+		t.Fatal("job finished before the crash; nothing to recover")
+	}
+	d1.kill()
+
+	// Survivor: same state dir, job must be recovered and finish with the
+	// reference result bit for bit.
+	d2 := startDaemon(t, bin, stateDir, freePort(t))
+	defer d2.kill()
+	got := d2.waitDone(job.ID, 2*time.Minute)
+	if got.Result == nil {
+		t.Fatal("recovered job has no result")
+	}
+	if *got.Result != *ref.Result {
+		t.Fatalf("recovered result diverged:\n got %+v\nwant %+v", *got.Result, *ref.Result)
+	}
+	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
+		t.Errorf("snapshot survived job completion: %v", err)
+	}
+}

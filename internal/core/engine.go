@@ -112,6 +112,19 @@ type RunConfig struct {
 	// strictly between simulated events, so they never perturb the
 	// timeline.
 	CheckpointEvery uint64
+	// OnSnapshot, when non-nil, receives durable engine snapshots taken at
+	// checkpoint boundaries (see Engine.Snapshot). A snapshot captures the
+	// full mid-run state — walk stores, accelerator queues, device
+	// bookings, the pending event heap — and ResumeEngine replays the run
+	// from it bit-identically. Snapshots that cannot be taken yet (setup
+	// closures still draining) are skipped silently; the callback must not
+	// call back into the engine.
+	OnSnapshot func(*Snapshot)
+	// SnapshotEvery is the minimum number of processed events between
+	// OnSnapshot deliveries; snapshots are only attempted at checkpoint
+	// boundaries, so the effective cadence is the next checkpoint after
+	// the interval elapses. 0 snapshots at every checkpoint.
+	SnapshotEvery uint64
 }
 
 // DefaultCheckpointEvery is the default event interval between cooperative
@@ -220,6 +233,16 @@ type Engine struct {
 	onProgress func(Progress)
 	checkEvery uint64
 
+	onSnapshot func(*Snapshot)
+	snapEvery  uint64
+	lastSnap   uint64
+
+	// started flips when RunContext performs the one-time launch work
+	// (hot-subgraph preload, channel ticks, first partition). A resumed
+	// engine starts with it set: the launch events are already in the
+	// restored heap.
+	started bool
+
 	rootRNG *rng.RNG
 
 	// inj is the fault injector (nil unless Cfg.Faults.Enabled); degraded
@@ -253,6 +276,27 @@ func (e *Engine) emit(kind trace.Kind, a, b int64) {
 // NewEngine builds a FlashWalker instance over the graph. The walks start
 // at numWalks uniformly random vertices drawn from startSeed.
 func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
+	e, err := newEngine(g, rc)
+	if err != nil {
+		return nil, err
+	}
+	if len(rc.Starts) > 0 {
+		for _, v := range rc.Starts {
+			if v >= g.NumVertices() {
+				return nil, fmt.Errorf("core: start vertex %d out of range: %w", v, errs.ErrInvalidConfig)
+			}
+		}
+		e.seedWalksFrom(rc.Starts, rc.NumWalks)
+	} else {
+		e.seedWalksFrom(walk.UniformStarts(e.g, rc.NumWalks, rc.StartSeed), rc.NumWalks)
+	}
+	return e, nil
+}
+
+// newEngine builds the engine skeleton — devices, accelerators, pools —
+// without seeding any walks. NewEngine seeds a fresh workload on top;
+// ResumeEngine overlays a snapshot's state instead.
+func newEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 	if err := rc.Cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -310,6 +354,8 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 		audit:      rc.Audit,
 		onProgress: rc.OnProgress,
 		checkEvery: rc.CheckpointEvery,
+		onSnapshot: rc.OnSnapshot,
+		snapEvery:  rc.SnapshotEvery,
 		rootRNG:    rng.New(rc.Cfg.Seed),
 	}
 	if e.checkEvery == 0 {
@@ -365,16 +411,6 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 	}
 
 	e.buildAccelerators()
-	if len(rc.Starts) > 0 {
-		for _, v := range rc.Starts {
-			if v >= g.NumVertices() {
-				return nil, fmt.Errorf("core: start vertex %d out of range: %w", v, errs.ErrInvalidConfig)
-			}
-		}
-		e.seedWalksFrom(rc.Starts, rc.NumWalks)
-	} else {
-		e.seedWalksFrom(walk.UniformStarts(e.g, rc.NumWalks, rc.StartSeed), rc.NumWalks)
-	}
 	return e, nil
 }
 
@@ -397,21 +433,33 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if ctx.Done() != nil || e.onProgress != nil {
+	if ctx.Done() != nil || e.onProgress != nil || e.onSnapshot != nil {
 		e.eng.SetCheckpoint(e.checkEvery, func() bool {
 			if e.onProgress != nil {
 				e.onProgress(e.progress())
+			}
+			if e.onSnapshot != nil && e.eng.Processed()-e.lastSnap >= e.snapEvery {
+				// Snapshots are pure reads of engine state between events;
+				// a build error means setup closures are still draining, so
+				// just try again at a later checkpoint.
+				if snap, err := e.buildSnapshot(); err == nil {
+					e.lastSnap = e.eng.Processed()
+					e.onSnapshot(snap)
+				}
 			}
 			return ctx.Err() == nil
 		})
 		defer e.eng.ClearCheckpoint()
 	}
-	e.preloadHotSubgraphs()
-	for _, ca := range e.chans {
-		ca.scheduleTick()
-	}
-	if !e.advancePartition() {
-		e.finished = true
+	if !e.started {
+		e.started = true
+		e.preloadHotSubgraphs()
+		for _, ca := range e.chans {
+			ca.scheduleTick()
+		}
+		if !e.advancePartition() {
+			e.finished = true
+		}
 	}
 	if e.maxSimTime > 0 {
 		e.eng.RunUntil(e.maxSimTime)

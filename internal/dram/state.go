@@ -1,0 +1,49 @@
+package dram
+
+import (
+	"fmt"
+
+	"flashwalker/internal/sim"
+)
+
+// State is the serializable mid-run state of a DRAM: bank bookings, the
+// round-robin cursor, and traffic counters. The config is rebuilt on
+// restore, not serialized here.
+type State struct {
+	Banks      []sim.QueueState
+	RR         int
+	ReadBytes  int64
+	WriteBytes int64
+	Accesses   uint64
+}
+
+// State captures the device's mid-run state.
+func (d *DRAM) State() State {
+	st := State{
+		Banks:      make([]sim.QueueState, len(d.banks)),
+		RR:         d.rr,
+		ReadBytes:  d.ReadBytes,
+		WriteBytes: d.WriteBytes,
+		Accesses:   d.Accesses,
+	}
+	for i, b := range d.banks {
+		st.Banks[i] = b.State()
+	}
+	return st
+}
+
+// Restore overlays a captured State onto a freshly built DRAM of the same
+// configuration.
+func (d *DRAM) Restore(st State) error {
+	if len(st.Banks) != len(d.banks) {
+		return fmt.Errorf("dram: restore: %d banks in state, device has %d", len(st.Banks), len(d.banks))
+	}
+	for i, b := range d.banks {
+		b.Restore(st.Banks[i])
+	}
+	d.rr = st.RR
+	d.ReadBytes = st.ReadBytes
+	d.WriteBytes = st.WriteBytes
+	d.Accesses = st.Accesses
+	return nil
+}

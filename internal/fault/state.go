@@ -1,0 +1,35 @@
+package fault
+
+// State is the serializable mid-run state of an Injector. The config is not
+// part of it: a restored run reconstructs the injector from the same
+// validated Config and overlays this state, so the fault stream continues
+// exactly where the snapshot left it.
+type State struct {
+	RNG        [4]uint64
+	Counters   Counters
+	ChipErrors []int
+	Degraded   []bool
+}
+
+// State captures the injector's RNG position, counters, and per-chip
+// error/degradation tracking.
+func (in *Injector) State() State {
+	st := State{
+		RNG:        in.rng.State(),
+		Counters:   in.Counters,
+		ChipErrors: append([]int(nil), in.chipErrors...),
+		Degraded:   append([]bool(nil), in.degraded...),
+	}
+	return st
+}
+
+// Restore overlays a captured State onto the injector. The chip count must
+// match the geometry the injector was built for. Restoring does not re-fire
+// OnDegrade for already-degraded chips: the engine restoring the snapshot
+// also restores the failover state those callbacks produced.
+func (in *Injector) Restore(st State) {
+	in.rng.SetState(st.RNG)
+	in.Counters = st.Counters
+	copy(in.chipErrors, st.ChipErrors)
+	copy(in.degraded, st.Degraded)
+}

@@ -5,7 +5,10 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -27,16 +30,46 @@ func NewTimeSeries(bin sim.Time) *TimeSeries {
 	return &TimeSeries{bin: bin}
 }
 
+// maxBins bounds a series' memory: a single Add with a pathological
+// timestamp must not allocate a bin per interval between zero and it. When
+// a sample lands past the cap the series re-bins — the bin width doubles
+// and adjacent bins fold together — until the sample fits, so totals are
+// preserved and memory stays O(maxBins) for any input.
+const maxBins = 1 << 16
+
 // Add accumulates v into the bin containing time at.
 func (ts *TimeSeries) Add(at sim.Time, v float64) {
 	if at < 0 {
 		at = 0
+	}
+	for at/ts.bin >= maxBins {
+		ts.rebin()
 	}
 	i := int(at / ts.bin)
 	for len(ts.vals) <= i {
 		ts.vals = append(ts.vals, 0)
 	}
 	ts.vals[i] += v
+}
+
+// rebin doubles the bin width and folds adjacent bins pairwise. Once the
+// width can no longer double without overflowing it saturates at the
+// maximum representable time, which every sample fits under.
+func (ts *TimeSeries) rebin() {
+	if ts.bin > math.MaxInt64/2 {
+		ts.bin = math.MaxInt64
+	} else {
+		ts.bin *= 2
+	}
+	half := (len(ts.vals) + 1) / 2
+	for i := 0; i < half; i++ {
+		v := ts.vals[2*i]
+		if 2*i+1 < len(ts.vals) {
+			v += ts.vals[2*i+1]
+		}
+		ts.vals[i] = v
+	}
+	ts.vals = ts.vals[:half]
 }
 
 // NumBins reports the number of bins touched so far.
@@ -76,6 +109,34 @@ func (ts *TimeSeries) Peak() float64 {
 		}
 	}
 	return m
+}
+
+// timeSeriesWire is the gob shape of a TimeSeries.
+type timeSeriesWire struct {
+	Bin  sim.Time
+	Vals []float64
+}
+
+// GobEncode lets a TimeSeries ride inside gob-encoded snapshots despite
+// its unexported fields.
+func (ts *TimeSeries) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(timeSeriesWire{Bin: ts.bin, Vals: ts.vals})
+	return buf.Bytes(), err
+}
+
+// GobDecode is the inverse of GobEncode.
+func (ts *TimeSeries) GobDecode(data []byte) error {
+	var w timeSeriesWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.Bin <= 0 {
+		return fmt.Errorf("metrics: decoded non-positive bin width %d", w.Bin)
+	}
+	ts.bin = w.Bin
+	ts.vals = w.Vals
+	return nil
 }
 
 // Breakdown is an ordered label -> duration map (Figure 1's stacked bars).

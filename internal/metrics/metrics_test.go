@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/gob"
+	"math"
 	"strings"
 	"testing"
 
@@ -49,6 +52,71 @@ func TestTimeSeriesNegativeTimeClamped(t *testing.T) {
 	ts.Add(-5, 1)
 	if ts.Value(0) != 1 {
 		t.Fatal("negative time not clamped into bin 0")
+	}
+}
+
+func TestTimeSeriesPathologicalTimestampBounded(t *testing.T) {
+	// A sample at the far end of the time axis used to allocate one bin per
+	// interval between zero and it — gigabytes for a nanosecond bin width.
+	// It must instead re-bin into a bounded number of wider bins with the
+	// total preserved.
+	ts := NewTimeSeries(sim.Nanosecond)
+	ts.Add(0, 3)
+	ts.Add(sim.Time(math.MaxInt64), 7)
+	if n := ts.NumBins(); n > maxBins {
+		t.Fatalf("pathological timestamp grew the series to %d bins", n)
+	}
+	if got := ts.Total(); got != 10 {
+		t.Fatalf("Total = %v after re-binning, want 10", got)
+	}
+	if ts.BinWidth() <= sim.Nanosecond {
+		t.Fatal("bin width did not widen")
+	}
+	// The early sample folded into bin 0; the late one is in the last bin.
+	if ts.Value(0) != 3 {
+		t.Fatalf("bin 0 = %v, want 3", ts.Value(0))
+	}
+
+	// Follow-up samples at ordinary times keep working.
+	ts.Add(sim.Second, 5)
+	if got := ts.Total(); got != 15 {
+		t.Fatalf("Total = %v after follow-up, want 15", got)
+	}
+}
+
+func TestTimeSeriesRebinPreservesTotals(t *testing.T) {
+	ts := NewTimeSeries(sim.Nanosecond)
+	var want float64
+	for i := 0; i < 1000; i++ {
+		ts.Add(sim.Time(i)*sim.Microsecond, float64(i))
+		want += float64(i)
+	}
+	// Force several rebins with a far-future sample.
+	ts.Add(sim.Time(1)<<40, 1)
+	want++
+	if got := ts.Total(); got != want {
+		t.Fatalf("Total = %v, want %v", got, want)
+	}
+	if n := ts.NumBins(); n > maxBins {
+		t.Fatalf("NumBins = %d exceeds cap", n)
+	}
+}
+
+func TestTimeSeriesGobRoundTrip(t *testing.T) {
+	in := NewTimeSeries(100 * sim.Millisecond)
+	in.Add(0, 4)
+	in.Add(250*sim.Millisecond, 9)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	out := new(TimeSeries)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	if out.BinWidth() != in.BinWidth() || out.NumBins() != in.NumBins() || out.Total() != in.Total() {
+		t.Fatalf("gob round trip mangled series: bin %v bins %d total %v",
+			out.BinWidth(), out.NumBins(), out.Total())
 	}
 }
 

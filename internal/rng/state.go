@@ -1,0 +1,12 @@
+package rng
+
+// State returns the generator's internal xoshiro256** state for
+// serialization. The four words fully determine the stream: restoring them
+// with FromState resumes the sequence exactly where it left off.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator with a previously captured State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
+// FromState reconstructs a generator from a captured State.
+func FromState(s [4]uint64) *RNG { return &RNG{s: s} }

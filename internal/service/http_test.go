@@ -14,7 +14,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
 	t.Helper()
-	m := NewManager(NewRegistry(), cfg)
+	m, err := NewManager(NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(m.Close)
 	srv := httptest.NewServer(NewHandler(m))
 	t.Cleanup(srv.Close)
@@ -148,6 +151,10 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mresp.Body.Close()
+	// Prometheus scrapers negotiate on the text exposition content type.
+	if ct := mresp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics Content-Type %q, want Prometheus text exposition", ct)
+	}
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(mresp.Body); err != nil {
 		t.Fatal(err)

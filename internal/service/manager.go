@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"flashwalker/internal/fault"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
+	"flashwalker/internal/snapshot"
 	"flashwalker/internal/walk"
 )
 
@@ -26,6 +29,15 @@ var (
 	ErrQueueFull = errors.New("job queue full")
 	// ErrUnknownJob reports a job ID with no matching job.
 	ErrUnknownJob = errors.New("unknown job")
+)
+
+// Snapshot cadence for durable jobs: a snapshot is attempted every
+// snapshotCheckpointRatio checkpoint intervals (spec.checkpoint_every
+// events each, or the engine default), and actually written at most once
+// per snapshotMinInterval of wall time.
+const (
+	snapshotCheckpointRatio = 16
+	snapshotMinInterval     = 200 * time.Millisecond
 )
 
 // Job kinds.
@@ -221,15 +233,22 @@ type Config struct {
 	QueueDepth int
 	// Workers is the number of jobs run concurrently. 0 means 2.
 	Workers int
+	// StateDir, when non-empty, makes jobs durable: specs are journaled at
+	// submission, running engines snapshot at their checkpoint cadence, and
+	// a restarted manager recovers the journal — finished jobs as history,
+	// unfinished ones re-enqueued and resumed. Empty keeps the manager
+	// fully in-memory.
+	StateDir string
 }
 
 // Manager owns the job queue and worker pool.
 type Manager struct {
-	reg     *Registry
-	queue   chan *Job
-	baseCtx context.Context
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
+	reg      *Registry
+	queue    chan *Job
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	wg       sync.WaitGroup
+	stateDir string
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -240,8 +259,12 @@ type Manager struct {
 }
 
 // NewManager starts cfg.Workers worker goroutines draining the queue.
-// Close releases them.
-func NewManager(reg *Registry, cfg Config) *Manager {
+// Close releases them. With cfg.StateDir set, the state directory is
+// created if needed and any journaled jobs from a previous process are
+// recovered before the workers start: terminal jobs reappear as history,
+// queued and running jobs are re-enqueued (ahead of new submissions, in
+// their original order).
+func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
@@ -250,25 +273,63 @@ func NewManager(reg *Registry, cfg Config) *Manager {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		reg:     reg,
-		queue:   make(chan *Job, cfg.QueueDepth),
-		baseCtx: ctx,
-		stop:    stop,
-		jobs:    map[string]*Job{},
+		reg:      reg,
+		baseCtx:  ctx,
+		stop:     stop,
+		jobs:     map[string]*Job{},
+		stateDir: cfg.StateDir,
+	}
+	var pending []*Job
+	if m.stateDir != "" {
+		for _, sub := range []string{"jobs", "snapshots"} {
+			if err := os.MkdirAll(filepath.Join(m.stateDir, sub), 0o755); err != nil {
+				stop()
+				return nil, fmt.Errorf("service: state dir: %w", err)
+			}
+		}
+		var err error
+		if pending, err = m.recoverJobs(); err != nil {
+			stop()
+			return nil, fmt.Errorf("service: recover jobs: %w", err)
+		}
+	}
+	// Recovered jobs must all fit back on the queue even when there are
+	// more of them than the configured depth allows.
+	depth := cfg.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending)
+	}
+	m.queue = make(chan *Job, depth)
+	for _, j := range pending {
+		m.queue <- j
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
-// Close stops the workers. Running jobs are canceled; queued jobs are
-// left in place (their state stays "queued" — a restarted manager would
-// need persistence, which this service does not attempt).
+// Close stops the workers, then drains the queue: every job still queued
+// is finished as canceled so no job is left in a non-terminal state with
+// its Done channel never closing. Running jobs are canceled and reach
+// their terminal state before Close returns. With a state directory, the
+// journal records survive — canceled-by-shutdown jobs are NOT re-run on
+// restart (they are terminal); only jobs that never reached Close (a
+// crash) come back.
 func (m *Manager) Close() {
 	m.stop()
 	m.wg.Wait()
+	for {
+		select {
+		case j := <-m.queue:
+			m.finish(j, nil, &errs.Canceled{
+				Op: "service", Finished: 0, Total: j.Spec.NumWalks, Cause: m.baseCtx.Err(),
+			})
+		default:
+			return
+		}
+	}
 }
 
 // Registry exposes the graph registry backing this manager.
@@ -308,6 +369,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.order = append(m.order, j.ID)
 	m.mu.Unlock()
 
+	m.journal(j)
 	m.metrics.submitted.Add(1)
 	return j, nil
 }
@@ -337,15 +399,28 @@ func (m *Manager) List() []JobStatus {
 	return out
 }
 
-// Cancel requests cancellation. Queued jobs terminate without running;
-// running jobs halt at the engine's next checkpoint and keep their
-// partial result. Canceling a finished job is a no-op.
+// Cancel requests cancellation. A still-queued job moves straight to the
+// canceled state — its Done channel closes immediately, without waiting
+// for a worker to pull it off the queue. Running jobs halt at the
+// engine's next checkpoint and keep their partial result. Canceling a
+// finished job is a no-op.
 func (m *Manager) Cancel(id string) error {
 	j, err := m.Get(id)
 	if err != nil {
 		return err
 	}
 	j.cancel()
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued {
+		// The job may concurrently be claimed by a worker; finish is
+		// idempotent and run refuses jobs that left the queued state, so
+		// exactly one terminal transition wins.
+		m.finish(j, nil, &errs.Canceled{
+			Op: "service", Finished: 0, Total: j.Spec.NumWalks, Cause: context.Canceled,
+		})
+	}
 	return nil
 }
 
@@ -371,9 +446,14 @@ func (m *Manager) run(j *Job) {
 		return
 	}
 	j.mu.Lock()
+	if j.state != StateQueued { // lost the race with a queued-job Cancel
+		j.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	m.journal(j)
 	m.metrics.running.Add(1)
 	defer m.metrics.running.Add(-1)
 
@@ -406,11 +486,49 @@ func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 			Hops: p.Hops, WalksFinished: p.WalksFinished(),
 		})
 	}
+	if m.stateDir != "" {
+		snapPath := m.snapshotPath(j.ID)
+		// Snapshots piggyback on the checkpoint observer every
+		// snapshotCheckpointRatio checkpoints, and serializing the full
+		// engine image is further throttled to at most one write per
+		// snapshotMinInterval of wall time so short checkpoint intervals
+		// don't turn the job into an fsync loop.
+		every := j.Spec.CheckpointEvery
+		if every == 0 {
+			every = core.DefaultCheckpointEvery
+		}
+		var lastWrite time.Time
+		onSnap := func(s *core.Snapshot) {
+			if time.Since(lastWrite) < snapshotMinInterval {
+				return
+			}
+			lastWrite = time.Now()
+			_ = snapshot.WriteFile(snapPath, snapKindCore, s)
+		}
+		// A recovered job picks up from its last snapshot; a fresh job (or
+		// one whose snapshot is unreadable) runs from the start and begins
+		// writing snapshots at the checkpoint cadence.
+		var snap core.Snapshot
+		if snapshot.ReadFile(snapPath, snapKindCore, &snap) == nil {
+			r, err := core.ResumeContext(ctx, g, &snap, core.ResumeOptions{
+				OnProgress: rc.OnProgress, OnSnapshot: onSnap,
+				SnapshotEvery: every * snapshotCheckpointRatio, CheckpointEvery: j.Spec.CheckpointEvery,
+			})
+			return coreJobResult(r, err)
+		}
+		rc.OnSnapshot = onSnap
+		rc.SnapshotEvery = every * snapshotCheckpointRatio
+	}
 	e, err := core.NewEngine(g, rc)
 	if err != nil {
 		return nil, err
 	}
 	r, err := e.RunContext(ctx)
+	return coreJobResult(r, err)
+}
+
+// coreJobResult converts a core result (possibly partial) to the API shape.
+func coreJobResult(r *core.Result, err error) (*JobResult, error) {
 	if r == nil {
 		return nil, err
 	}
@@ -440,11 +558,28 @@ func (m *Manager) runGraphWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 		})
 	}
 	spec := walk.Spec{Kind: walk.Unbiased, Length: harness.WalkLength}
+	if m.stateDir != "" {
+		// The baseline's snapshot is a replay record; recovery re-runs the
+		// job from event zero, which is result-identical.
+		var snap baseline.Snapshot
+		if snapshot.ReadFile(m.snapshotPath(j.ID), snapKindBaseline, &snap) == nil {
+			r, err := baseline.ResumeContext(ctx, g, &snap, cfg.OnProgress)
+			return baselineJobResult(r, err)
+		}
+	}
 	e, err := baseline.New(g, cfg, spec, j.Spec.NumWalks, j.Spec.Seed+100)
 	if err != nil {
 		return nil, err
 	}
+	if m.stateDir != "" {
+		_ = snapshot.WriteFile(m.snapshotPath(j.ID), snapKindBaseline, e.Snapshot())
+	}
 	r, err := e.RunContext(ctx)
+	return baselineJobResult(r, err)
+}
+
+// baselineJobResult converts a baseline result to the API shape.
+func baselineJobResult(r *baseline.Result, err error) (*JobResult, error) {
 	if r == nil {
 		return nil, err
 	}
@@ -457,9 +592,16 @@ func (m *Manager) runGraphWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 }
 
 // finish moves the job to its terminal state and updates the aggregate
-// counters.
+// counters. It is idempotent: a job can race toward two terminal
+// transitions (queued-job Cancel vs. the worker claiming it) and only the
+// first wins.
 func (m *Manager) finish(j *Job, res *JobResult, err error) {
 	j.mu.Lock()
+	switch j.state {
+	case StateDone, StateCanceled, StateFailed:
+		j.mu.Unlock()
+		return
+	}
 	j.result = res
 	j.err = err
 	j.finished = time.Now()
@@ -474,6 +616,8 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 	state := j.state
 	j.mu.Unlock()
 	close(j.done)
+	m.journal(j)
+	m.dropSnapshot(j.ID)
 
 	switch state {
 	case StateDone:

@@ -8,6 +8,15 @@ import (
 	"flashwalker/internal/errs"
 )
 
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewManager(NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func waitTerminal(t *testing.T, j *Job) {
 	t.Helper()
 	select {
@@ -18,7 +27,7 @@ func waitTerminal(t *testing.T, j *Job) {
 }
 
 func TestManagerRunsJob(t *testing.T) {
-	m := NewManager(NewRegistry(), Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	j, err := m.Submit(JobSpec{Graph: "TT-S", NumWalks: 500, Seed: 1})
 	if err != nil {
@@ -41,7 +50,7 @@ func TestManagerRunsJob(t *testing.T) {
 }
 
 func TestManagerBaselineJob(t *testing.T) {
-	m := NewManager(NewRegistry(), Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	j, err := m.Submit(JobSpec{Kind: KindGraphWalker, Graph: "TT-S", NumWalks: 500, Seed: 1})
 	if err != nil {
@@ -54,7 +63,7 @@ func TestManagerBaselineJob(t *testing.T) {
 }
 
 func TestManagerCancellationPartialResult(t *testing.T) {
-	m := NewManager(NewRegistry(), Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	j, err := m.Submit(JobSpec{Graph: "TT-S", NumWalks: 100_000, Seed: 1, CheckpointEvery: 64})
 	if err != nil {
@@ -92,7 +101,7 @@ func TestManagerCancellationPartialResult(t *testing.T) {
 }
 
 func TestManagerBackpressure(t *testing.T) {
-	m := NewManager(NewRegistry(), Config{Workers: 1, QueueDepth: 1})
+	m := newTestManager(t, Config{Workers: 1, QueueDepth: 1})
 	defer m.Close()
 	// Occupy the single worker with a long job, fill the one queue slot,
 	// then watch the next submission bounce.
@@ -135,7 +144,7 @@ func TestManagerBackpressure(t *testing.T) {
 }
 
 func TestManagerSubmitValidation(t *testing.T) {
-	m := NewManager(NewRegistry(), Config{Workers: 1})
+	m := newTestManager(t, Config{Workers: 1})
 	defer m.Close()
 	if _, err := m.Submit(JobSpec{Graph: "nope"}); !errors.Is(err, errs.ErrUnknownDataset) {
 		t.Errorf("unknown graph: %v", err)

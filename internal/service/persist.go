@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"flashwalker/internal/snapshot"
+)
+
+// Durable job state. When Config.StateDir is set the manager keeps two
+// things under it:
+//
+//	<stateDir>/jobs/<id>.json       one JSON journal record per job,
+//	                                atomically rewritten at submit, start,
+//	                                and finish
+//	<stateDir>/snapshots/<id>.snap  the job's latest engine snapshot
+//	                                (codec container), rewritten at the
+//	                                checkpoint cadence, removed at finish
+//
+// On startup the manager replays the journal: terminal jobs come back as
+// history, queued and running jobs are re-enqueued. A re-enqueued running
+// job resumes from its last snapshot when one is readable; otherwise it
+// re-runs from the start, which — the engines being deterministic —
+// produces the identical result, just later. Journal and snapshot writes
+// are best-effort: a full disk degrades durability, never a running job.
+
+// Snapshot container kind tags.
+const (
+	snapKindCore     = "flashwalker-core-engine"
+	snapKindBaseline = "flashwalker-baseline-engine"
+)
+
+// jobRecord is the journal shape of one job.
+type jobRecord struct {
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	State     string     `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted_at"`
+	Started   time.Time  `json:"started_at,omitempty"`
+	Finished  time.Time  `json:"finished_at,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+func (m *Manager) jobPath(id string) string {
+	return filepath.Join(m.stateDir, "jobs", id+".json")
+}
+
+func (m *Manager) snapshotPath(id string) string {
+	return filepath.Join(m.stateDir, "snapshots", id+".snap")
+}
+
+// journal rewrites j's journal record. Best-effort; no-op without a state
+// directory.
+func (m *Manager) journal(j *Job) {
+	if m.stateDir == "" {
+		return
+	}
+	j.mu.Lock()
+	rec := jobRecord{
+		ID: j.ID, Spec: j.Spec, State: j.state,
+		Submitted: j.Submitted, Started: j.started, Finished: j.finished,
+		Result: j.result,
+	}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	j.mu.Unlock()
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = snapshot.WriteFileAtomic(m.jobPath(j.ID), data, 0o644)
+}
+
+// dropSnapshot removes a terminal job's snapshot; the journal record is
+// the durable trace that remains.
+func (m *Manager) dropSnapshot(id string) {
+	if m.stateDir != "" {
+		os.Remove(m.snapshotPath(id))
+	}
+}
+
+// jobSeq extracts the numeric suffix of a "job-N" ID.
+func jobSeq(id string) (uint64, bool) {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	return n, err == nil
+}
+
+// recoverJobs replays the journal into the manager's tables and returns
+// the non-terminal jobs to re-enqueue, oldest first. Unreadable or
+// malformed records are skipped — recovery restores what it can rather
+// than refusing to start.
+func (m *Manager) recoverJobs() ([]*Job, error) {
+	entries, err := os.ReadDir(filepath.Join(m.stateDir, "jobs"))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var recs []jobRecord
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(m.stateDir, "jobs", ent.Name()))
+		if err != nil {
+			continue
+		}
+		var rec jobRecord
+		if json.Unmarshal(data, &rec) != nil || rec.ID == "" {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, _ := jobSeq(recs[i].ID)
+		b, _ := jobSeq(recs[j].ID)
+		if a != b {
+			return a < b
+		}
+		return recs[i].ID < recs[j].ID
+	})
+
+	var pending []*Job
+	for _, rec := range recs {
+		if _, dup := m.jobs[rec.ID]; dup {
+			continue
+		}
+		if n, ok := jobSeq(rec.ID); ok && n > m.seq {
+			m.seq = n
+		}
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j := &Job{
+			ID: rec.ID, Spec: rec.Spec, Submitted: rec.Submitted,
+			ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		}
+		switch rec.State {
+		case StateDone, StateCanceled, StateFailed:
+			j.state = rec.State
+			j.result = rec.Result
+			j.started, j.finished = rec.Started, rec.Finished
+			if rec.Error != "" {
+				j.err = errors.New(rec.Error)
+			}
+			close(j.done)
+		default:
+			// Queued and running jobs go back on the queue; a previously
+			// running job resumes from its last snapshot when it has one.
+			j.state = StateQueued
+			pending = append(pending, j)
+		}
+		m.jobs[j.ID] = j
+		m.order = append(m.order, j.ID)
+	}
+	return pending, nil
+}

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestManagerCloseDrainsQueue is the regression test for the lifecycle bug
+// where Close left queued jobs in StateQueued forever with their Done
+// channels never closing: after Close, every job the manager ever accepted
+// must be terminal.
+func TestManagerCloseDrainsQueue(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, QueueDepth: 4})
+	long := JobSpec{Graph: "TT-S", NumWalks: 100_000, Seed: 1, CheckpointEvery: 64}
+	jobs := []*Job{}
+	// One job occupies the single worker; the rest sit in the queue.
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit(long)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	m.Close()
+	for _, st := range m.List() {
+		switch st.State {
+		case StateDone, StateCanceled, StateFailed:
+		default:
+			t.Errorf("job %s left in non-terminal state %q after Close", st.ID, st.State)
+		}
+	}
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		default:
+			t.Errorf("job %s Done channel still open after Close", j.ID)
+		}
+	}
+}
+
+// TestManagerCancelQueuedImmediate is the regression test for Cancel on a
+// still-queued job: it must move straight to canceled — Done closed, no
+// engine run — without waiting for a worker to pull it off the queue.
+func TestManagerCancelQueuedImmediate(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, QueueDepth: 2})
+	defer m.Close()
+	long := JobSpec{Graph: "TT-S", NumWalks: 100_000, Seed: 1, CheckpointEvery: 64}
+	j1, err := m.Submit(long) // occupies the worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m.Submit(long) // stays queued behind it
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(j2.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The worker is still busy with j1, so only an immediate transition
+	// can close j2's Done channel here.
+	select {
+	case <-j2.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued job not terminal after Cancel; it waited for a worker")
+	}
+	st := j2.Status()
+	if st.State != StateCanceled {
+		t.Fatalf("queued-then-canceled job state %q", st.State)
+	}
+	if st.StartedAt != nil {
+		t.Error("canceled-while-queued job has a start time; it ran")
+	}
+	if err := m.Cancel(j1.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j1)
+}
+
+// TestManagerRecoveryResumesFromSnapshot is the durable-jobs scenario: a
+// job interrupted mid-run (journal says running, snapshot on disk) is
+// re-enqueued on restart, resumes from the snapshot, and finishes with a
+// result identical to an uninterrupted run of the same spec.
+func TestManagerRecoveryResumesFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	spec := JobSpec{Graph: "TT-S", NumWalks: 20_000, Seed: 5, CheckpointEvery: 64}
+
+	// Reference result: the same spec run to completion, no persistence.
+	mr := newTestManager(t, Config{Workers: 1})
+	jr, err := mr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, jr)
+	ref := jr.Status().Result
+	if ref == nil || jr.Status().State != StateDone {
+		t.Fatalf("reference run: %+v", jr.Status())
+	}
+	mr.Close()
+
+	// First life: run with persistence until a snapshot lands on disk, then
+	// grab a copy and cancel.
+	m1 := newTestManager(t, Config{Workers: 1, StateDir: dir})
+	j1, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "snapshots", j1.ID+".snap")
+	var saved []byte
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if b, err := os.ReadFile(snapPath); err == nil && len(b) > 0 {
+			saved = b
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("running job never wrote a snapshot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m1.Cancel(j1.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j1)
+	m1.Close()
+
+	// Forge the crash the cancel cleaned up after: journal back to running,
+	// snapshot back on disk.
+	jobPath := filepath.Join(dir, "jobs", j1.ID+".json")
+	data, err := os.ReadFile(jobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec["state"] = StateRunning
+	delete(rec, "result")
+	delete(rec, "error")
+	data, err = json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jobPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, saved, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: the job is recovered, resumed, and must converge on the
+	// uninterrupted result exactly.
+	m2 := newTestManager(t, Config{Workers: 1, StateDir: dir})
+	defer m2.Close()
+	j2, err := m2.Get(j1.ID)
+	if err != nil {
+		t.Fatalf("recovered manager lost job %s: %v", j1.ID, err)
+	}
+	waitTerminal(t, j2)
+	st := j2.Status()
+	if st.State != StateDone {
+		t.Fatalf("recovered job state %q, error %q", st.State, st.Error)
+	}
+	if st.Result == nil || *st.Result != *ref {
+		t.Fatalf("resumed result diverged:\n got %+v\nwant %+v", st.Result, ref)
+	}
+	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
+		t.Errorf("snapshot survived job completion: %v", err)
+	}
+}
+
+// TestManagerRecoveryHistoryAndSeq: terminal jobs come back as history
+// (Done already closed, result intact), queued jobs re-run, and the ID
+// sequence continues past the recovered jobs instead of colliding.
+func TestManagerRecoveryHistoryAndSeq(t *testing.T) {
+	dir := t.TempDir()
+	m1 := newTestManager(t, Config{Workers: 1, StateDir: dir})
+	spec := JobSpec{Graph: "TT-S", NumWalks: 500, Seed: 1}
+	j1, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j1)
+	doneResult := j1.Status().Result
+	m1.Close()
+
+	// Forge a queued job the first life never got to.
+	rec := jobRecord{ID: "job-7", Spec: spec, State: StateQueued, Submitted: time.Now()}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jobs", "job-7.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, Config{Workers: 1, StateDir: dir})
+	defer m2.Close()
+
+	// History: terminal, Done closed, result preserved verbatim.
+	h, err := m2.Get(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Error("recovered terminal job's Done channel not closed")
+	}
+	if st := h.Status(); st.State != StateDone || st.Result == nil || *st.Result != *doneResult {
+		t.Fatalf("recovered history mangled: %+v", st)
+	}
+
+	// The forged queued job runs to completion.
+	q, err := m2.Get("job-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, q)
+	if st := q.Status(); st.State != StateDone {
+		t.Fatalf("recovered queued job state %q, error %q", st.State, st.Error)
+	}
+
+	// Fresh submissions continue after the highest recovered ID.
+	jn, err := m2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jn.ID != "job-8" {
+		t.Errorf("post-recovery ID %s, want job-8", jn.ID)
+	}
+	waitTerminal(t, jn)
+}

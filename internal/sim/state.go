@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// Snapshot support: an Engine's pending schedule is plain data as long as
+// every pending event is a typed event — a (target, kind, payload) record.
+// Closure events (At/After) carry arbitrary funcs and cannot be serialized;
+// ExportState refuses them, which in practice means snapshots are taken
+// after setup-phase closures have drained (the steady-state hot path is
+// all typed events).
+//
+// Handlers are interface values, so the caller supplies the mapping between
+// Handler identities and small integer IDs in both directions. The IDs are
+// the caller's contract with itself: export and import must agree on them.
+
+// SavedEvent is one pending heap entry in serializable form. Seq preserves
+// the insertion order, so a restored heap drains in exactly the original
+// (time, insertion) order.
+type SavedEvent struct {
+	At     Time
+	Seq    uint64
+	Target int32
+	Kind   uint16
+	A, B   int32
+	C      int64
+}
+
+// EngineState is the full serializable state of an Engine: the clock, the
+// sequence and processed counters, and every pending event.
+type EngineState struct {
+	Now       Time
+	Seq       uint64
+	Processed uint64
+	Events    []SavedEvent
+}
+
+// ExportState captures the engine's clock and pending schedule. targetID
+// maps each distinct event target to a stable small integer; it should
+// return an error for targets it does not recognize. ExportState fails if
+// any pending event is a closure (At/After), since closures cannot be
+// serialized — callers snapshot only after setup closures have drained.
+//
+// The engine is not mutated; an exported engine can keep running.
+func (e *Engine) ExportState(targetID func(Handler) (int32, error)) (EngineState, error) {
+	st := EngineState{
+		Now:       e.now,
+		Seq:       e.seq,
+		Processed: e.processed,
+		Events:    make([]SavedEvent, 0, len(e.heap)),
+	}
+	for i := range e.heap {
+		ent := &e.heap[i]
+		if ent.ev.Target == e {
+			return EngineState{}, fmt.Errorf("sim: cannot export engine state with pending closure event at %v", ent.at)
+		}
+		id, err := targetID(ent.ev.Target)
+		if err != nil {
+			return EngineState{}, fmt.Errorf("sim: export event at %v: %w", ent.at, err)
+		}
+		st.Events = append(st.Events, SavedEvent{
+			At: ent.at, Seq: ent.seq, Target: id,
+			Kind: ent.ev.Kind, A: ent.ev.A, B: ent.ev.B, C: ent.ev.C,
+		})
+	}
+	return st, nil
+}
+
+// ImportState restores a captured state into a fresh engine (zero clock, no
+// pending or processed events). target is the inverse of ExportState's
+// targetID mapping. Saved sequence numbers are preserved verbatim so ties
+// at equal timestamps break identically to the original run.
+func (e *Engine) ImportState(st EngineState, target func(int32) (Handler, error)) error {
+	if len(e.heap) != 0 || e.processed != 0 || e.now != 0 {
+		return fmt.Errorf("sim: ImportState requires a fresh engine (pending=%d processed=%d now=%v)",
+			len(e.heap), e.processed, e.now)
+	}
+	for _, sv := range st.Events {
+		h, err := target(sv.Target)
+		if err != nil {
+			return fmt.Errorf("sim: import event at %v: %w", sv.At, err)
+		}
+		if h == nil {
+			return fmt.Errorf("sim: import event at %v: nil target for id %d", sv.At, sv.Target)
+		}
+		e.push(entry{at: sv.At, seq: sv.Seq, ev: Event{
+			Target: h, Kind: sv.Kind, A: sv.A, B: sv.B, C: sv.C,
+		}})
+	}
+	e.now = st.Now
+	e.seq = st.Seq
+	e.processed = st.Processed
+	return nil
+}
+
+// QueueState is the serializable state of a Queue (the bound engine is
+// re-supplied on restore).
+type QueueState struct {
+	BusyUntil Time
+	BusyTotal Time
+	Waited    Time
+	Served    uint64
+}
+
+// State captures the queue's booking and accounting state.
+func (q *Queue) State() QueueState {
+	return QueueState{BusyUntil: q.busyUntil, BusyTotal: q.busyTotal, Waited: q.waited, Served: q.served}
+}
+
+// Restore overwrites the queue's booking and accounting state.
+func (q *Queue) Restore(st QueueState) {
+	q.busyUntil = st.BusyUntil
+	q.busyTotal = st.BusyTotal
+	q.waited = st.Waited
+	q.served = st.Served
+}
