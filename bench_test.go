@@ -200,6 +200,40 @@ func BenchmarkGraphWalkerTT(b *testing.B) {
 	}
 }
 
+// BenchmarkArrayBoards measures the multi-board array on the multi-shard
+// dataset at each board count of the scaling extension. The per-count
+// sim-Mhops/s metric is the 1-board vs N-board step-rate comparison
+// BENCH_PR6.json stores; speedup-vs-1board carries the simulated-time
+// scaling alongside it. Walk outcomes are identical at every count, so
+// the ratio isolates the fabric model's cost and the shard parallelism.
+func BenchmarkArrayBoards(b *testing.B) {
+	d, err := harness.DatasetByName("MB-S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.Graph(); err != nil {
+		b.Fatal(err)
+	}
+	const walks = 20_000
+	var base sim.Time
+	for _, nb := range harness.ExtBoardCounts {
+		b.Run(fmt.Sprintf("boards=%d", nb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunFlashWalkerBoards(context.Background(), d, core.AllOptions(), walks, nb, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.HopRate()/1e6, "sim-Mhops/s")
+				if nb == 1 {
+					base = res.Time
+				} else if base > 0 {
+					b.ReportMetric(float64(base)/float64(res.Time), "speedup-vs-1board")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEnergyExtension regenerates the energy-comparison extension
 // experiment (the paper's §I energy motivation quantified).
 func BenchmarkEnergyExtension(b *testing.B) {

@@ -36,6 +36,7 @@ func main() {
 	algos := flag.Bool("algorithms", false, "run the walk-algorithm extension experiment")
 	faults := flag.Bool("faults", false, "run the fault-injection extension experiment (clean vs default fault profile)")
 	resume := flag.Bool("resume", false, "run the snapshot/resume extension experiment (uninterrupted vs snapshot->resume)")
+	boards := flag.Bool("boards", false, "run the multi-board array scaling extension experiment (1/2/4/8 boards on MB-S)")
 	all := flag.Bool("all", false, "run every table and figure")
 	scale := flag.Float64("scale", 1.0, "walk-count scale factor")
 	seed := flag.Uint64("seed", 1, "root seed")
@@ -73,7 +74,7 @@ func main() {
 		*figs = "1,5,6,7,8,9"
 		*tables = "1,2,3,4"
 	}
-	if *figs == "" && *tables == "" && !*energy && !*algos && !*faults && !*resume {
+	if *figs == "" && *tables == "" && !*energy && !*algos && !*faults && !*resume && !*boards {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,6 +128,18 @@ func main() {
 		fmt.Println(harness.FormatExtResume(rows))
 		if err := saveCSV("resume.csv", func(w *os.File) error {
 			return harness.ResumeCSV(w, rows)
+		}); err != nil {
+			fail(err)
+		}
+	}
+	if *boards {
+		rows, err := harness.ExtBoards(ctx, *scale, *seed, *parallel)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatExtBoards(rows))
+		if err := saveCSV("boards.csv", func(w *os.File) error {
+			return harness.BoardsCSV(w, rows)
 		}); err != nil {
 			fail(err)
 		}

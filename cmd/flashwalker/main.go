@@ -10,6 +10,8 @@
 //	flashwalker -graph g.bin -walks 5000 -kind restart -stopprob 0.15
 //	flashwalker -dataset FS-S -walks 10000 -no-wq -no-hs -no-ss
 //	flashwalker -dataset TT-S -walks 10000 -faults -fault-read-rate 0.05
+//	flashwalker -dataset MB-S -walks 10000 -boards 4
+//	flashwalker -dataset MB-S -walks 10000 -boards 4 -kill-board 2 -kill-at 500000
 package main
 
 import (
@@ -27,12 +29,13 @@ import (
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/metrics"
+	"flashwalker/internal/sim"
 	"flashwalker/internal/trace"
 	"flashwalker/internal/walk"
 )
 
 func main() {
-	dataset := flag.String("dataset", "", "scaled dataset name (TT-S, FS-S, CW-S, R2B-S, R8B-S)")
+	dataset := flag.String("dataset", "", "scaled dataset name (TT-S, FS-S, CW-S, R2B-S, R8B-S, MB-S)")
 	graphPath := flag.String("graph", "", "binary graph file (alternative to -dataset)")
 	walks := flag.Int("walks", 10000, "number of walks")
 	length := flag.Uint("length", harness.WalkLength, "walk length (hops)")
@@ -48,6 +51,11 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault RNG seed (with -faults)")
 	faultReadRate := flag.Float64("fault-read-rate", -1, "override the per-sense read-error probability (with -faults)")
 	faultBusyRate := flag.Float64("fault-busy-rate", -1, "override the per-sense plane-busy probability (with -faults)")
+	boards := flag.Int("boards", 1, "number of SSD boards in the simulated array (>1 enables the inter-board fabric)")
+	fabricLatencyNS := flag.Int64("fabric-latency-ns", -1, "override the fabric per-message latency in ns (with -boards > 1)")
+	fabricMBps := flag.Int64("fabric-mbps", -1, "override the per-board fabric bandwidth in MB/s (with -boards > 1)")
+	killBoard := flag.Int("kill-board", -1, "fail-stop this board mid-run (with -boards > 1)")
+	killAt := flag.Int64("kill-at", 0, "simulated time in ns at which -kill-board dies")
 	flag.Parse()
 
 	opts := core.Options{WalkQuery: !*noWQ, HotSubgraphs: !*noHS, SmartSchedule: !*noSS}
@@ -93,6 +101,18 @@ func main() {
 		rc.Cfg.Faults = fc
 	}
 
+	rc.Cfg.Boards = *boards
+	if *fabricLatencyNS >= 0 {
+		rc.Cfg.FabricLatency = sim.Time(*fabricLatencyNS)
+	}
+	if *fabricMBps > 0 {
+		rc.Cfg.FabricBytesPerSec = *fabricMBps * 1_000_000
+	}
+	if *killBoard >= 0 {
+		rc.Cfg.Faults.KillBoard = *killBoard
+		rc.Cfg.Faults.KillBoardAt = sim.Time(*killAt)
+	}
+
 	var traceFile *os.File
 	var tw *trace.Writer
 	if *tracePath != "" {
@@ -110,11 +130,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	e, err := core.NewEngine(g, rc)
-	if err != nil {
-		fail(err)
-	}
-	res, err := e.RunContext(ctx)
+	res, err := runSim(ctx, g, rc)
 	if res != nil {
 		if err != nil {
 			fmt.Println("run canceled; partial result:")
@@ -131,6 +147,23 @@ func main() {
 		}
 		fail(err)
 	}
+}
+
+// runSim dispatches to the single-board engine or the multi-board array,
+// mirroring the flashwalker.Simulate facade.
+func runSim(ctx context.Context, g *graph.Graph, rc core.RunConfig) (*core.Result, error) {
+	if rc.Cfg.Boards > 1 {
+		a, err := core.NewArray(g, rc)
+		if err != nil {
+			return nil, err
+		}
+		return a.RunContext(ctx)
+	}
+	e, err := core.NewEngine(g, rc)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx)
 }
 
 // closeTrace flushes and closes the trace output, reporting either the
@@ -185,6 +218,14 @@ func printResult(r *core.Result) {
 	fmt.Printf("chip updater util     %.1f%% mean / %.1f%% max\n",
 		100*r.ChipUpdaterUtil, 100*r.ChipUpdaterUtilMax)
 	fmt.Printf("channel bus util max  %.1f%%\n", 100*r.ChannelBusUtilMax)
+	if r.Boards > 1 {
+		fmt.Printf("boards                %d\n", r.Boards)
+		fmt.Printf("fabric traffic        %s (%d walks in %d batches)\n",
+			metrics.FormatBytes(r.FabricBytes), r.FabricWalks, r.FabricBatches)
+		if r.BoardKills != 0 {
+			fmt.Printf("board kills           %d (%d walks evacuated)\n", r.BoardKills, r.EvacuatedWalks)
+		}
+	}
 	if r.Faults != (fault.Counters{}) || r.FaultReroutes != 0 || r.FailoverBlocks != 0 {
 		fmt.Printf("faults: read errors   %d (%d retries, %d exhausted)\n",
 			r.Faults.ReadErrors, r.Faults.Retries, r.Faults.RetriesExhausted)

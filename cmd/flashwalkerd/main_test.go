@@ -200,3 +200,70 @@ func TestCrashRecovery(t *testing.T) {
 		t.Errorf("snapshot survived job completion: %v", err)
 	}
 }
+
+// TestCrashRecoveryMultiBoard is the array variant of TestCrashRecovery: a
+// two-board job on the multi-shard dataset is SIGKILLed mid-run (with its
+// fleet-wide array snapshot on disk) and must recover to the same result an
+// uninterrupted run produces. This exercises the flashwalker-core-array
+// snapshot kind end to end, including any walks that were in flight on the
+// inter-board fabric when the image was taken.
+func TestCrashRecoveryMultiBoard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "flashwalkerd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// MB-S is the only registry dataset with enough partitions for an
+	// array (TT-S packs into a single shard); two boards split its nine
+	// partitions and exchange foreigner walks over the fabric.
+	spec := map[string]any{
+		"graph": "MB-S", "num_walks": 60_000, "seed": 7,
+		"boards": 2, "checkpoint_every": 64,
+	}
+
+	refDir := t.TempDir()
+	dr := startDaemon(t, bin, refDir, freePort(t))
+	refJob := dr.submit(spec)
+	ref := dr.waitDone(refJob.ID, 4*time.Minute)
+	dr.kill()
+	if ref.Result == nil || ref.Result.Partial {
+		t.Fatalf("reference result unusable: %+v", ref.Result)
+	}
+
+	stateDir := t.TempDir()
+	d1 := startDaemon(t, bin, stateDir, freePort(t))
+	job := d1.submit(spec)
+	snapPath := filepath.Join(stateDir, "snapshots", job.ID+".snap")
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if fi, err := os.Stat(snapPath); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			d1.kill()
+			t.Fatal("running array job never wrote a snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if jv := d1.get(job.ID); jv.State == "done" {
+		t.Fatal("job finished before the crash; nothing to recover")
+	}
+	d1.kill()
+
+	d2 := startDaemon(t, bin, stateDir, freePort(t))
+	defer d2.kill()
+	got := d2.waitDone(job.ID, 4*time.Minute)
+	if got.Result == nil {
+		t.Fatal("recovered job has no result")
+	}
+	if *got.Result != *ref.Result {
+		t.Fatalf("recovered array result diverged:\n got %+v\nwant %+v", *got.Result, *ref.Result)
+	}
+	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
+		t.Errorf("snapshot survived job completion: %v", err)
+	}
+}

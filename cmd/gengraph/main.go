@@ -6,6 +6,7 @@
 //	gengraph -kind rmat -v 65536 -e 1000000 -o g.bin
 //	gengraph -kind powerlaw -v 10000 -e 200000 -alpha 0.8 -weighted -o w.bin
 //	gengraph -kind rmat -dataset TT-S -o tt.bin    # materialize a registry graph
+//	gengraph -dataset MB-S -o mb.bin               # multi-shard array workload
 package main
 
 import (
@@ -13,9 +14,11 @@ import (
 	"fmt"
 	"os"
 
+	"flashwalker/internal/core"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/metrics"
+	"flashwalker/internal/partition"
 )
 
 func main() {
@@ -31,8 +34,10 @@ func main() {
 
 	var g *graph.Graph
 	var err error
+	var d harness.Dataset
 	if *dataset != "" {
-		d, derr := harness.DatasetByName(*dataset)
+		var derr error
+		d, derr = harness.DatasetByName(*dataset)
 		if derr != nil {
 			fail(derr)
 		}
@@ -68,6 +73,18 @@ func main() {
 	fmt.Printf("wrote %s: |V|=%d |E|=%d maxdeg=%d gini=%.3f csr=%s\n",
 		*out, s.NumVertices, s.NumEdges, s.MaxOutDeg, s.GiniOut,
 		metrics.FormatBytes(g.CSRBytes(4)))
+	if *dataset != "" {
+		// Report how the dataset shards: partition count at the registry's
+		// configured granularity (partitions are the unit a multi-board
+		// array distributes over its boards).
+		rc := harness.FlashWalkerConfig(d, core.AllOptions(), d.DefaultWalks, 1)
+		part, perr := partition.Partition(g, rc.PartCfg)
+		if perr != nil {
+			fail(perr)
+		}
+		fmt.Printf("dataset %s: block=%s partitions=%d (usable to -boards %d)\n",
+			d.Name, metrics.FormatBytes(d.SubgraphBytes), part.NumPartitions, part.NumPartitions)
+	}
 }
 
 func fail(err error) {

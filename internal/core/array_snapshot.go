@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"flashwalker/internal/errs"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/sim"
+)
+
+// Array checkpoint/restore. The fleet shares ONE event kernel, so an
+// ArraySnapshot holds one sim.EngineState plus a per-board body Snapshot
+// (walk stores, device bookings, pooled records — everything except the
+// kernel) and the fabric's own state: per-link queue bookings, the batched
+// egress buffers, and the pooled in-flight transfer records the pending
+// evFabricArrive events reference by index.
+//
+// Event-target IDs for the fleet-wide export: the array itself is 0 (its
+// fabric arrivals and kill events are typed events targeting the Array),
+// and board b's engine and SSD are 1+2b and 2+2b. The single-board mapping
+// (engine=0, SSD=1) is untouched.
+
+// arrayTargetArray is the Array's own event-target ID.
+const arrayTargetArray int32 = 0
+
+func arrayTargetEngine(b int) int32 { return int32(1 + 2*b) }
+func arrayTargetSSD(b int) int32    { return int32(2 + 2*b) }
+
+// FabricWalkState is one in-flight fabric walk in serializable form.
+type FabricWalkState struct {
+	St WalkState
+	P  int32
+}
+
+// EgressState is one (source, destination) egress batch being accumulated.
+type EgressState struct {
+	Walks []FabricWalkState
+	Bytes int64
+}
+
+// FabricBatchState is one pooled fabric transfer record (live or free).
+type FabricBatchState struct {
+	Walks []FabricWalkState
+	Dst   int32
+	Free  int32
+}
+
+// ArraySnapshot is the complete serializable state of a paused Array.
+type ArraySnapshot struct {
+	// Identity. Per-board identity (Cfg, device configs, spec, graph
+	// counts) lives in each board Snapshot; every board carries the same
+	// values, and ResumeArray rebuilds the fleet from Boards[0].
+	NumBoards int
+
+	// The shared event kernel, exported once with the fleet-wide mapping.
+	Sim sim.EngineState
+
+	// Per-board state; the Sim field of each entry is unused (zero).
+	Boards []*Snapshot
+
+	// Shard ownership and device liveness.
+	Owners []int32
+	Dead   []bool
+
+	// Fabric state.
+	FabricQ   []sim.QueueState
+	Egress    [][]EgressState
+	FBatches  []FabricBatchState
+	FreeFB    int32
+	InFabric  int
+	Remaining int
+	Started   int
+
+	RootRNG [4]uint64
+
+	FabricWalks   uint64
+	FabricBatches uint64
+	FabricBytes   int64
+	Evacuated     uint64
+	Kills         uint64
+}
+
+func fwOut(ws []fabricWalk) []FabricWalkState {
+	if ws == nil {
+		return nil
+	}
+	out := make([]FabricWalkState, len(ws))
+	for i := range ws {
+		out[i] = FabricWalkState{St: wsOut(&ws[i].st), P: ws[i].p}
+	}
+	return out
+}
+
+func fwIn(ws []FabricWalkState) []fabricWalk {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]fabricWalk, len(ws))
+	for i := range ws {
+		out[i] = fabricWalk{st: wsIn(ws[i].St), p: ws[i].P}
+	}
+	return out
+}
+
+// Snapshot captures the array's complete state; the same restrictions as
+// Engine.Snapshot apply (strictly between events, no pending setup
+// closures, no tracers or time series, not after a failure).
+func (a *Array) Snapshot() (*ArraySnapshot, error) {
+	return a.buildSnapshot()
+}
+
+func (a *Array) buildSnapshot() (*ArraySnapshot, error) {
+	if a.failure != nil {
+		return nil, fmt.Errorf("core: cannot snapshot a failed run: %w", a.failure)
+	}
+	targetID := func(h sim.Handler) (int32, error) {
+		if h == sim.Handler(a) {
+			return arrayTargetArray, nil
+		}
+		for b, e := range a.boards {
+			switch h {
+			case sim.Handler(e):
+				return arrayTargetEngine(b), nil
+			case sim.Handler(e.ssd):
+				return arrayTargetSSD(b), nil
+			}
+		}
+		return 0, fmt.Errorf("unknown event target %T", h)
+	}
+	s := &ArraySnapshot{
+		NumBoards: len(a.boards),
+		Owners:    a.shard.Owners(),
+		Dead:      append([]bool(nil), a.dead...),
+		FreeFB:    a.freeFB,
+		InFabric:  a.inFabric,
+		Remaining: a.remaining,
+		Started:   a.numStarted,
+		RootRNG:   a.rootRNG.State(),
+
+		FabricWalks:   a.fabricWalks,
+		FabricBatches: a.fabricBatchCnt,
+		FabricBytes:   a.fabricBytes,
+		Evacuated:     a.evacuated,
+		Kills:         a.kills,
+	}
+	for b, e := range a.boards {
+		body, err := e.buildSnapshotBody(targetID)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot board %d: %w", b, err)
+		}
+		s.Boards = append(s.Boards, body)
+		s.FabricQ = append(s.FabricQ, a.fabric[b].State())
+		row := make([]EgressState, len(a.egress[b]))
+		for dst := range a.egress[b] {
+			row[dst] = EgressState{Walks: fwOut(a.egress[b][dst].walks), Bytes: a.egress[b][dst].bytes}
+		}
+		s.Egress = append(s.Egress, row)
+	}
+	s.FBatches = make([]FabricBatchState, len(a.fbatches))
+	for i := range a.fbatches {
+		s.FBatches[i] = FabricBatchState{
+			Walks: fwOut(a.fbatches[i].walks), Dst: a.fbatches[i].dst, Free: a.fbatches[i].free,
+		}
+	}
+	// The kernel export goes last: it fails while setup closures (the
+	// per-board hot-subgraph preloads) are still pending, which is also the
+	// signal the checkpoint hook uses to retry later.
+	simState, err := a.eng.ExportState(targetID)
+	if err != nil {
+		return nil, err
+	}
+	s.Sim = simState
+	return s, nil
+}
+
+// ResumeArray rebuilds an array from a snapshot over the same graph. Like
+// ResumeEngine, the resumed fleet continues the interrupted run exactly —
+// same clock, same pending events (fabric transfers included), same RNG
+// positions — so its final Result is bit-identical to the uninterrupted
+// run.
+func ResumeArray(g *graph.Graph, snap *ArraySnapshot, opts ArrayResumeOptions) (*Array, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: nil snapshot: %w", errs.ErrInvalidConfig)
+	}
+	if snap.NumBoards < 1 || len(snap.Boards) != snap.NumBoards {
+		return nil, fmt.Errorf("core: snapshot has %d board bodies for %d boards: %w",
+			len(snap.Boards), snap.NumBoards, errs.ErrInvalidConfig)
+	}
+	id := snap.Boards[0]
+	if g.NumVertices() != id.GraphVertices || g.NumEdges() != id.GraphEdges {
+		return nil, fmt.Errorf("core: snapshot was taken over a graph with %d vertices / %d edges, got %d / %d: %w",
+			id.GraphVertices, id.GraphEdges, g.NumVertices(), g.NumEdges(), errs.ErrInvalidConfig)
+	}
+	rc := RunConfig{
+		Cfg: id.Cfg, FlashCfg: id.FlashCfg, DRAMCfg: id.DRAMCfg,
+		PartCfg: id.PartCfg, Spec: id.Spec, NumWalks: id.NumWalks,
+		MaxSimTime: id.MaxSimTime, TrackVisits: id.TrackVisits,
+		Audit: id.Audit, UseAliasSampling: id.UseAliasSampling,
+		OnProgress: opts.OnProgress, CheckpointEvery: opts.CheckpointEvery,
+	}
+	a, err := newArray(g, rc)
+	if err != nil {
+		return nil, err
+	}
+	a.onSnapshot = opts.OnSnapshot
+	a.snapEvery = opts.SnapshotEvery
+	if err := a.restore(snap); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ArrayResumeOptions parameterizes a resumed array run.
+type ArrayResumeOptions struct {
+	OnProgress      func(Progress)
+	OnSnapshot      func(*ArraySnapshot)
+	SnapshotEvery   uint64
+	CheckpointEvery uint64
+}
+
+// ResumeArrayContext is ResumeArray followed by RunContext.
+func ResumeArrayContext(ctx context.Context, g *graph.Graph, snap *ArraySnapshot, opts ArrayResumeOptions) (*Result, error) {
+	a, err := ResumeArray(g, snap, opts)
+	if err != nil {
+		return nil, err
+	}
+	return a.RunContext(ctx)
+}
+
+// restore overlays the snapshot's state onto a freshly built skeleton.
+func (a *Array) restore(snap *ArraySnapshot) error {
+	nb := len(a.boards)
+	switch {
+	case snap.NumBoards != nb:
+		return fmt.Errorf("core: resume: snapshot has %d boards, config has %d", snap.NumBoards, nb)
+	case len(snap.FabricQ) != nb, len(snap.Egress) != nb, len(snap.Dead) != nb:
+		return fmt.Errorf("core: resume: snapshot fabric state sized for %d boards, config has %d", len(snap.FabricQ), nb)
+	}
+	target := func(id int32) (sim.Handler, error) {
+		if id == arrayTargetArray {
+			return a, nil
+		}
+		b := int(id-1) / 2
+		if b < 0 || b >= nb {
+			return nil, fmt.Errorf("unknown target id %d", id)
+		}
+		if (id-1)%2 == 0 {
+			return a.boards[b], nil
+		}
+		return a.boards[b].ssd, nil
+	}
+	if err := a.eng.ImportState(snap.Sim, target); err != nil {
+		return err
+	}
+	for b, e := range a.boards {
+		if err := e.restoreBody(snap.Boards[b], target); err != nil {
+			return fmt.Errorf("core: resume board %d: %w", b, err)
+		}
+		a.fabric[b].Restore(snap.FabricQ[b])
+		if len(snap.Egress[b]) != nb {
+			return fmt.Errorf("core: resume: egress row %d has %d entries, want %d", b, len(snap.Egress[b]), nb)
+		}
+		for dst := range a.egress[b] {
+			a.egress[b][dst] = egressBuf{walks: fwIn(snap.Egress[b][dst].Walks), bytes: snap.Egress[b][dst].Bytes}
+		}
+	}
+	if err := a.shard.SetOwners(snap.Owners); err != nil {
+		return fmt.Errorf("core: resume: %w", err)
+	}
+	copy(a.dead, snap.Dead)
+	a.fbatches = make([]fabricBatch, len(snap.FBatches))
+	for i, fb := range snap.FBatches {
+		a.fbatches[i] = fabricBatch{walks: fwIn(fb.Walks), dst: fb.Dst, free: fb.Free}
+	}
+	a.freeFB = snap.FreeFB
+	a.inFabric = snap.InFabric
+	a.remaining = snap.Remaining
+	a.numStarted = snap.Started
+	a.rootRNG.SetState(snap.RootRNG)
+	a.fabricWalks = snap.FabricWalks
+	a.fabricBatchCnt = snap.FabricBatches
+	a.fabricBytes = snap.FabricBytes
+	a.evacuated = snap.Evacuated
+	a.kills = snap.Kills
+	// The launch work already happened in the original run; its events —
+	// the scheduled kill included — are in the restored heap.
+	a.launched = true
+	a.lastSnap = a.eng.Processed()
+	return nil
+}

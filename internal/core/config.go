@@ -118,6 +118,24 @@ type Config struct {
 	// is refreshed only every M-th walk insertion (§III-D).
 	ScoreUpdateEveryM int
 
+	// --- Multi-board SSD array. ---
+	// Boards is the number of shard-owning boards in the simulated array.
+	// 0 or 1 runs the classic single-board engine; N > 1 runs N boards,
+	// each owning a round-robin shard of the graph partitions, connected
+	// by a modeled inter-board fabric (see internal/core's array layer).
+	Boards int
+	// FabricLatency is the fixed per-message latency of the inter-board
+	// fabric (PCIe-switch/NVMe-oF hop), charged on top of the serialized
+	// transfer time.
+	FabricLatency sim.Time
+	// FabricBytesPerSec is the per-board egress bandwidth of the fabric.
+	FabricBytesPerSec int64
+	// FabricBatchBytes is the egress batching threshold: foreigner walks
+	// bound for another board accumulate per (source, destination) pair
+	// and ship when the batch reaches this size (or when the source board
+	// drains, so no walk is ever stranded).
+	FabricBatchBytes int64
+
 	Opts Options
 
 	Seed uint64
@@ -177,6 +195,14 @@ func Default() Config {
 		Beta:              1.5,
 		TopN:              8,
 		ScoreUpdateEveryM: 8,
+
+		// Fabric defaults model a PCIe-switch hop between boards: ~1 us
+		// switch+protocol latency, 4 GB/s effective per-board egress, and
+		// 4 KB transfer batches. Only read when Boards > 1.
+		Boards:            1,
+		FabricLatency:     1 * sim.Microsecond,
+		FabricBytesPerSec: 4 << 30,
+		FabricBatchBytes:  4 << 10,
 
 		Opts: AllOptions(),
 	}
@@ -252,8 +278,34 @@ func (c Config) Validate() error {
 	if c.Alpha <= 0 || c.Beta <= 0 {
 		return fmt.Errorf("core: Alpha/Beta must be positive: %w", errs.ErrInvalidConfig)
 	}
+	if c.Boards < 0 || c.Boards > MaxBoards {
+		return fmt.Errorf("core: Boards %d outside [0, %d]: %w", c.Boards, MaxBoards, errs.ErrInvalidConfig)
+	}
+	if c.Boards > 1 {
+		if c.FabricLatency < 0 {
+			return fmt.Errorf("core: negative FabricLatency %v: %w", c.FabricLatency, errs.ErrInvalidConfig)
+		}
+		if c.FabricBytesPerSec <= 0 {
+			return fmt.Errorf("core: FabricBytesPerSec must be positive with Boards > 1: %w", errs.ErrInvalidConfig)
+		}
+		if c.FabricBatchBytes <= 0 {
+			return fmt.Errorf("core: FabricBatchBytes must be positive with Boards > 1: %w", errs.ErrInvalidConfig)
+		}
+	}
+	if c.Faults.KillBoardAt > 0 {
+		if c.Boards <= 1 {
+			return fmt.Errorf("core: whole-device kill (Faults.KillBoardAt) requires Boards > 1: %w", errs.ErrInvalidConfig)
+		}
+		if c.Faults.KillBoard >= c.Boards {
+			return fmt.Errorf("core: Faults.KillBoard %d outside array of %d boards: %w", c.Faults.KillBoard, c.Boards, errs.ErrInvalidConfig)
+		}
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
 	return nil
 }
+
+// MaxBoards bounds the array size a Config may request; it exists to keep
+// hostile service submissions from allocating an absurd device fleet.
+const MaxBoards = 64

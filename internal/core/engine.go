@@ -250,6 +250,13 @@ type Engine struct {
 	// path, and is nil when injection is off.
 	inj      *fault.Injector
 	degraded []bool
+
+	// arr/boardID tie a board engine into a multi-board array (nil/0 in
+	// single-board runs, the unchanged classic path). An array board shares
+	// the array's sim.Engine, owns only its shard's partitions, and hands
+	// foreigners bound for other shards to the array's fabric.
+	arr     *Array
+	boardID int
 }
 
 // progress snapshots the engine's headline counters. Only called from the
@@ -276,6 +283,9 @@ func (e *Engine) emit(kind trace.Kind, a, b int64) {
 // NewEngine builds a FlashWalker instance over the graph. The walks start
 // at numWalks uniformly random vertices drawn from startSeed.
 func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
+	if rc.Cfg.Boards > 1 {
+		return nil, fmt.Errorf("core: Boards=%d needs the array engine (NewArray): %w", rc.Cfg.Boards, errs.ErrInvalidConfig)
+	}
 	e, err := newEngine(g, rc)
 	if err != nil {
 		return nil, err
@@ -297,6 +307,17 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 // without seeding any walks. NewEngine seeds a fresh workload on top;
 // ResumeEngine overlays a snapshot's state instead.
 func newEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
+	part, err := partition.Partition(g, rc.PartCfg)
+	if err != nil {
+		return nil, err
+	}
+	return newEngineOn(sim.New(), g, rc, part)
+}
+
+// newEngineOn is newEngine over a caller-supplied event kernel and
+// partitioning: the array layer builds N board engines on one shared
+// sim.Engine so the whole fleet drains a single timeline.
+func newEngineOn(eng *sim.Engine, g *graph.Graph, rc RunConfig, part *partition.Partitioned) (*Engine, error) {
 	if err := rc.Cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -306,11 +327,6 @@ func newEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 	if rc.NumWalks <= 0 {
 		return nil, fmt.Errorf("core: NumWalks %d <= 0: %w", rc.NumWalks, errs.ErrInvalidConfig)
 	}
-	part, err := partition.Partition(g, rc.PartCfg)
-	if err != nil {
-		return nil, err
-	}
-	eng := sim.New()
 	ssd, err := flash.New(eng, rc.FlashCfg)
 	if err != nil {
 		return nil, err
@@ -451,16 +467,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		})
 		defer e.eng.ClearCheckpoint()
 	}
-	if !e.started {
-		e.started = true
-		e.preloadHotSubgraphs()
-		for _, ca := range e.chans {
-			ca.scheduleTick()
-		}
-		if !e.advancePartition() {
-			e.finished = true
-		}
-	}
+	e.launch()
 	if e.maxSimTime > 0 {
 		e.eng.RunUntil(e.maxSimTime)
 	} else {
@@ -533,8 +540,31 @@ func (e *Engine) collectTierStats() {
 	e.res.ChannelBusUtilMax = busMax
 }
 
-// fail aborts the simulation with an error.
+// launch performs the one-time start-of-run work: the hot-subgraph preload,
+// the periodic channel roving ticks, and the first partition dispatch. A
+// board engine inside an array may legitimately start with no local walks —
+// it idles (unfinished, ticks running) until the fabric delivers some.
+func (e *Engine) launch() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.preloadHotSubgraphs()
+	for _, ca := range e.chans {
+		ca.scheduleTick()
+	}
+	if !e.advancePartition() && e.arr == nil {
+		e.finished = true
+	}
+}
+
+// fail aborts the simulation with an error. A board engine inside an array
+// fails the whole array: one inconsistent device invalidates the fleet run.
 func (e *Engine) fail(err error) {
+	if e.arr != nil {
+		e.arr.fail(err)
+		return
+	}
 	if e.failure == nil {
 		e.failure = err
 	}

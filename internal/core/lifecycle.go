@@ -62,6 +62,9 @@ func (e *Engine) finishWalk(completed bool) {
 		e.res.ProgressTS.Add(e.eng.Now(), 1)
 	}
 	e.remaining--
+	if e.arr != nil {
+		e.arr.walkFinished()
+	}
 	e.activeCur--
 	e.checkPartitionDone()
 }
@@ -76,7 +79,23 @@ func (e *Engine) checkPartitionDone() {
 		e.fail(fmt.Errorf("core: activeCur went negative"))
 		return
 	}
+	if e.arr != nil {
+		// The board just drained: ship every batched foreigner now so no
+		// walk waits on an egress threshold that will never be reached.
+		e.arr.flushEgressFrom(e.boardID)
+	}
 	if !e.advancePartition() {
+		if e.arr != nil {
+			// An idle array board is not done — fabric deliveries can wake
+			// it — unless it is dead, in which case nothing ever will (its
+			// shard was re-placed and arrivals are re-forwarded).
+			if e.arr.dead[e.boardID] {
+				e.finished = true
+			} else {
+				e.arr.checkStalled()
+			}
+			return
+		}
 		e.finished = true
 		if e.remaining != 0 {
 			e.fail(fmt.Errorf("core: no partitions left but %d walks remain", e.remaining))
@@ -95,6 +114,11 @@ func (e *Engine) advancePartition() bool {
 			p = step - 1
 		}
 		if len(e.pendingMem[p]) == 0 && len(e.pendingFlash[p]) == 0 {
+			continue
+		}
+		if e.arr != nil && e.arr.shard.BoardOf(p) != e.boardID {
+			// Not this board's shard (possible only transiently around a
+			// device kill, while evacuated walks are still in flight).
 			continue
 		}
 		e.startPartition(p)

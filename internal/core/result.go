@@ -44,6 +44,14 @@ type Result struct {
 	GuiderStalls      uint64 // chip guider stalls on a full roving buffer
 	PartitionSwitches uint64
 
+	// Multi-board array instrumentation (all zero on single-board runs).
+	Boards         int    // board count the run executed on
+	FabricWalks    uint64 // walks serialized over the inter-board fabric
+	FabricBatches  uint64 // fabric transfer batches shipped
+	FabricBytes    int64  // bytes crossing the fabric
+	EvacuatedWalks uint64 // walks evacuated off a killed board
+	BoardKills     uint64 // whole-device kills injected
+
 	// Fault-injection outcome (all zero unless Config.Faults.Enabled).
 	Faults         fault.Counters
 	FaultReroutes  uint64 // walks rerouted from degraded chips to their channel

@@ -24,6 +24,16 @@ func (e *Engine) demoteWalk(p int, st wstate) {
 	// would make the walk re-draw when its partition starts, desyncing the
 	// stream between runs whose demotion timing differs.
 	st.rangeTag = -1
+	if e.arr != nil && e.arr.shard.BoardOf(p) != e.boardID {
+		// The destination partition lives on another board's shard: the
+		// walk is serialized over the inter-board fabric instead of parked
+		// in the local foreigner buffer.
+		e.res.ForeignerWalks++
+		e.arr.sendForeigner(e, p, st)
+		e.activeCur--
+		e.checkPartitionDone()
+		return
+	}
 	if e.pendingMem[p] == nil {
 		e.pendingMem[p] = e.getWalkBuf()
 	}
@@ -83,6 +93,23 @@ func (e *Engine) auditConservation(where string) {
 	if !e.audit || e.failure != nil {
 		return
 	}
+	if e.arr != nil {
+		// Per-board conservation does not hold once walks migrate; the
+		// array audits the fleet-wide sum (boards + fabric) instead.
+		e.arr.auditConservation(where)
+		return
+	}
+	stored := e.storedWalks()
+	finished := e.res.Completed + e.res.DeadEnded
+	if got := stored + finished + e.activeCur - e.activeCurStoredOverlap(); got != e.res.Started {
+		e.fail(fmt.Errorf("core: audit(%s): %d stored + %d finished + %d active != %d started",
+			where, stored, finished, e.activeCur, e.res.Started))
+	}
+}
+
+// storedWalks counts every walk parked in this board's stores (pending
+// lists plus per-block buffers); the array's fleet-wide audit sums it.
+func (e *Engine) storedWalks() int {
 	stored := 0
 	for p := range e.pendingMem {
 		stored += len(e.pendingMem[p]) + len(e.pendingFlash[p])
@@ -90,11 +117,7 @@ func (e *Engine) auditConservation(where string) {
 	for b := range e.pwb {
 		stored += len(e.pwb[b]) + len(e.fls[b])
 	}
-	finished := e.res.Completed + e.res.DeadEnded
-	if got := stored + finished + e.activeCur - e.activeCurStoredOverlap(); got != e.res.Started {
-		e.fail(fmt.Errorf("core: audit(%s): %d stored + %d finished + %d active != %d started",
-			where, stored, finished, e.activeCur, e.res.Started))
-	}
+	return stored
 }
 
 // activeCurStoredOverlap counts walks that are both active and sitting in

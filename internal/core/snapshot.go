@@ -294,15 +294,6 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 }
 
 func (e *Engine) buildSnapshot() (*Snapshot, error) {
-	if e.failure != nil {
-		return nil, fmt.Errorf("core: cannot snapshot a failed run: %w", e.failure)
-	}
-	if e.tracer != nil {
-		return nil, fmt.Errorf("core: cannot snapshot with a tracer attached")
-	}
-	if e.res.ProgressTS != nil || e.ssd.ReadTS != nil {
-		return nil, fmt.Errorf("core: cannot snapshot with progress time series attached")
-	}
 	targetID := func(h sim.Handler) (int32, error) {
 		switch h {
 		case sim.Handler(e):
@@ -312,9 +303,32 @@ func (e *Engine) buildSnapshot() (*Snapshot, error) {
 		}
 		return 0, fmt.Errorf("unknown event target %T", h)
 	}
+	s, err := e.buildSnapshotBody(targetID)
+	if err != nil {
+		return nil, err
+	}
 	simState, err := e.eng.ExportState(targetID)
 	if err != nil {
 		return nil, err
+	}
+	s.Sim = simState
+	return s, nil
+}
+
+// buildSnapshotBody captures everything except the event kernel, whose
+// export the caller owns: the single-board path exports it with the
+// two-target mapping above, while the array exports the shared kernel once
+// for all boards with a fleet-wide mapping. targetID is also used for the
+// flash export (typed op completions reference engine/SSD targets).
+func (e *Engine) buildSnapshotBody(targetID func(sim.Handler) (int32, error)) (*Snapshot, error) {
+	if e.failure != nil {
+		return nil, fmt.Errorf("core: cannot snapshot a failed run: %w", e.failure)
+	}
+	if e.tracer != nil {
+		return nil, fmt.Errorf("core: cannot snapshot with a tracer attached")
+	}
+	if e.res.ProgressTS != nil || e.ssd.ReadTS != nil {
+		return nil, fmt.Errorf("core: cannot snapshot with progress time series attached")
 	}
 	flashState, err := e.ssd.ExportState(targetID)
 	if err != nil {
@@ -335,7 +349,6 @@ func (e *Engine) buildSnapshot() (*Snapshot, error) {
 		GraphVertices:    e.g.NumVertices(),
 		GraphEdges:       e.g.NumEdges(),
 
-		Sim:   simState,
 		Flash: flashState,
 		DRAM:  e.dr.State(),
 
@@ -504,6 +517,27 @@ func ResumeContext(ctx context.Context, g *graph.Graph, snap *Snapshot, opts Res
 
 // restore overlays the snapshot's state onto a freshly built skeleton.
 func (e *Engine) restore(snap *Snapshot) error {
+	// Kernel: pending events reference node/batch/op records by index, so
+	// the pools restored below must land in the exact same layout.
+	target := func(id int32) (sim.Handler, error) {
+		switch id {
+		case targetEngine:
+			return e, nil
+		case targetSSD:
+			return e.ssd, nil
+		}
+		return nil, fmt.Errorf("unknown target id %d", id)
+	}
+	if err := e.eng.ImportState(snap.Sim, target); err != nil {
+		return err
+	}
+	return e.restoreBody(snap, target)
+}
+
+// restoreBody overlays everything except the event kernel, whose import the
+// caller owns (the array imports the shared kernel once, then restores each
+// board's body). target resolves flash op completion targets.
+func (e *Engine) restoreBody(snap *Snapshot, target func(int32) (sim.Handler, error)) error {
 	nb := e.part.NumBlocks()
 	np := e.part.NumPartitions
 	switch {
@@ -525,20 +559,6 @@ func (e *Engine) restore(snap *Snapshot) error {
 		return fmt.Errorf("core: resume: snapshot and config disagree on fault injection")
 	}
 
-	// Kernel: pending events reference node/batch/op records by index, so
-	// the pools below must be restored to the exact same layout.
-	target := func(id int32) (sim.Handler, error) {
-		switch id {
-		case targetEngine:
-			return e, nil
-		case targetSSD:
-			return e.ssd, nil
-		}
-		return nil, fmt.Errorf("unknown target id %d", id)
-	}
-	if err := e.eng.ImportState(snap.Sim, target); err != nil {
-		return err
-	}
 	if err := e.ssd.ImportState(snap.Flash, target); err != nil {
 		return err
 	}

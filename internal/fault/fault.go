@@ -70,6 +70,16 @@ type Config struct {
 	DegradeAfterErrors int `json:"degrade_after_errors"`
 	// DegradedReadPenalty is the extra sense latency on a degraded chip.
 	DegradedReadPenalty sim.Time `json:"degraded_read_penalty"`
+
+	// KillBoardAt, when positive, fail-stops one whole board of a
+	// multi-board array at that simulated time: the board's shard is
+	// re-placed onto the survivors and its buffered walks are evacuated
+	// over the inter-board fabric (see internal/core's array layer).
+	// Independent of Enabled — a kill can be injected without rate-based
+	// injection — and rejected by single-board runs. Zero disables it.
+	KillBoardAt sim.Time `json:"kill_board_at,omitempty"`
+	// KillBoard is the board index KillBoardAt applies to.
+	KillBoard int `json:"kill_board,omitempty"`
 }
 
 // Default returns a representative enabled fault profile: 2% read errors,
@@ -125,6 +135,12 @@ func (c Config) Validate() error {
 	}
 	if c.DegradeAfterErrors < 0 {
 		return fmt.Errorf("fault: negative DegradeAfterErrors %d: %w", c.DegradeAfterErrors, errs.ErrInvalidConfig)
+	}
+	if c.KillBoardAt < 0 {
+		return fmt.Errorf("fault: negative KillBoardAt %v: %w", c.KillBoardAt, errs.ErrInvalidConfig)
+	}
+	if c.KillBoard < 0 {
+		return fmt.Errorf("fault: negative KillBoard %d: %w", c.KillBoard, errs.ErrInvalidConfig)
 	}
 	return nil
 }

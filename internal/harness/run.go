@@ -60,13 +60,23 @@ func FlashWalkerConfig(d Dataset, opts core.Options, numWalks int, seed uint64) 
 		PartCfg: partition.Config{
 			BlockBytes:            d.SubgraphBytes,
 			IDBytes:               d.IDBytes,
-			SubgraphsPerPartition: 4096,
+			SubgraphsPerPartition: subgraphsPerPartition(d),
 			RangeSize:             32,
 		},
 		Spec:      walk.Spec{Kind: walk.Unbiased, Length: WalkLength},
 		NumWalks:  numWalks,
 		StartSeed: seed + 100,
 	}
+}
+
+// subgraphsPerPartition is the dataset's partition granularity (the
+// registry default is one 4096-subgraph partition per ~16 MiB of CSR; the
+// multi-board preset cuts finer).
+func subgraphsPerPartition(d Dataset) int {
+	if d.SubgraphsPerPartition > 0 {
+		return d.SubgraphsPerPartition
+	}
+	return 4096
 }
 
 // GraphWalkerConfig derives the scaled baseline configuration: block size
@@ -96,6 +106,31 @@ func RunFlashWalker(ctx context.Context, d Dataset, opts core.Options, numWalks 
 	}
 	rc := FlashWalkerConfig(d, opts, numWalks, seed)
 	rc.ProgressBin = progressBin
+	e, err := core.NewEngine(g, rc)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx)
+}
+
+// RunFlashWalkerBoards executes FlashWalker on an nb-board SSD array over
+// the dataset. nb <= 1 is the classic single-board engine; time series are
+// per-board and therefore unavailable on arrays (progressBin is ignored
+// when nb > 1).
+func RunFlashWalkerBoards(ctx context.Context, d Dataset, opts core.Options, numWalks, nb int, seed uint64) (*core.Result, error) {
+	g, err := d.Graph()
+	if err != nil {
+		return nil, err
+	}
+	rc := FlashWalkerConfig(d, opts, numWalks, seed)
+	rc.Cfg.Boards = nb
+	if nb > 1 {
+		a, err := core.NewArray(g, rc)
+		if err != nil {
+			return nil, err
+		}
+		return a.RunContext(ctx)
+	}
 	e, err := core.NewEngine(g, rc)
 	if err != nil {
 		return nil, err

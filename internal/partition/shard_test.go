@@ -1,0 +1,184 @@
+package partition
+
+import (
+	"testing"
+
+	"flashwalker/internal/graph"
+)
+
+// lineGraph builds a path graph over n vertices (n-1 edges), the smallest
+// structured workload that still exercises block formation.
+func lineGraph(t *testing.T, n uint64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := uint64(0); v+1 < n; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build line graph: %v", err)
+	}
+	return g
+}
+
+// TestShardMapPlacementEdgeCases drives partitioning, chip placement, and
+// the board shard map through the degenerate shapes the round-trip tests
+// never hit: a single-vertex graph, vertex counts not divisible by the
+// shard count, and more boards than partitions (empty shards).
+func TestShardMapPlacementEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		vertices uint64
+		boards   int
+		// subPerPart shrinks partitions so small graphs still yield
+		// several partitions.
+		subPerPart int
+	}{
+		{name: "single-vertex graph", vertices: 1, boards: 2, subPerPart: 1},
+		{name: "two vertices three boards", vertices: 2, boards: 3, subPerPart: 1},
+		{name: "vertices not divisible by boards", vertices: 1000, boards: 3, subPerPart: 2},
+		{name: "more boards than partitions", vertices: 64, boards: 8, subPerPart: 4},
+		{name: "one board owns everything", vertices: 500, boards: 1, subPerPart: 2},
+		{name: "boards equal partitions", vertices: 512, boards: 4, subPerPart: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := lineGraph(t, tc.vertices)
+			cfg := Config{BlockBytes: 256, IDBytes: 4, SubgraphsPerPartition: tc.subPerPart, RangeSize: 2}
+			p := mustPartition(t, g, cfg)
+			if p.NumPartitions < 1 {
+				t.Fatalf("no partitions for %d vertices", tc.vertices)
+			}
+
+			// Every vertex must resolve to exactly one block and that
+			// block to an in-range partition.
+			for v := graph.VertexID(0); v < graph.VertexID(tc.vertices); v++ {
+				var id int
+				if m, ok := p.Dense.Lookup(v); ok {
+					id = m.FirstBlockID
+				} else if id, _ = p.BlockOf(v); id < 0 {
+					t.Fatalf("vertex %d has no block", v)
+				}
+				if pi := p.PartitionOf(id); pi < 0 || pi >= p.NumPartitions {
+					t.Fatalf("vertex %d: partition %d outside [0,%d)", v, pi, p.NumPartitions)
+				}
+			}
+
+			// Chip placement must accept the degenerate block counts.
+			pl, err := NewPlacement(p, 2, 2)
+			if err != nil {
+				t.Fatalf("NewPlacement: %v", err)
+			}
+			seen := 0
+			for chip := 0; chip < pl.NumChips(); chip++ {
+				seen += len(pl.BlocksOnChip(chip))
+			}
+			if seen != len(p.Blocks) {
+				t.Fatalf("placement covers %d blocks, partitioning has %d", seen, len(p.Blocks))
+			}
+
+			// The shard map must give every partition exactly one owner
+			// and the per-board shards must partition the partition set.
+			m, err := NewShardMap(p.NumPartitions, tc.boards)
+			if err != nil {
+				t.Fatalf("NewShardMap: %v", err)
+			}
+			owned := make([]int, p.NumPartitions)
+			for b := 0; b < tc.boards; b++ {
+				for _, pi := range m.PartitionsOn(b) {
+					if m.BoardOf(pi) != b {
+						t.Fatalf("PartitionsOn(%d) lists %d but BoardOf says %d", b, pi, m.BoardOf(pi))
+					}
+					owned[pi]++
+				}
+			}
+			for pi, n := range owned {
+				if n != 1 {
+					t.Fatalf("partition %d owned %d times", pi, n)
+				}
+			}
+			// Striping must be balanced within one partition.
+			max, min := 0, p.NumPartitions+1
+			for b := 0; b < tc.boards; b++ {
+				n := len(m.PartitionsOn(b))
+				if n > max {
+					max = n
+				}
+				if n < min {
+					min = n
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("unbalanced striping: min %d max %d", min, max)
+			}
+		})
+	}
+}
+
+func TestShardMapReassign(t *testing.T) {
+	m, err := NewShardMap(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 1
+	moved, err := m.Reassign(dead, []int{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 || len(m.PartitionsOn(dead)) != 0 {
+		t.Fatalf("moved %d partitions, board %d still owns %d", moved, dead, len(m.PartitionsOn(dead)))
+	}
+	total := 0
+	for b := 0; b < 4; b++ {
+		total += len(m.PartitionsOn(b))
+	}
+	if total != 10 {
+		t.Fatalf("reassign lost partitions: %d of 10 owned", total)
+	}
+	// A second kill concentrates everything on the last survivors.
+	if _, err := m.Reassign(0, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.PartitionsOn(0)) + len(m.PartitionsOn(1)); n != 0 {
+		t.Fatalf("dead boards still own %d partitions", n)
+	}
+
+	// Error paths.
+	if _, err := m.Reassign(2, nil); err == nil {
+		t.Fatal("reassign with no survivors accepted")
+	}
+	if _, err := m.Reassign(2, []int{2}); err == nil {
+		t.Fatal("reassign onto the dead board accepted")
+	}
+	if _, err := m.Reassign(2, []int{9}); err == nil {
+		t.Fatal("reassign onto an out-of-range board accepted")
+	}
+}
+
+func TestShardMapOwnersRoundTrip(t *testing.T) {
+	m, _ := NewShardMap(7, 3)
+	if _, err := m.Reassign(0, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	owners := m.Owners()
+	m2, _ := NewShardMap(7, 3)
+	if err := m2.SetOwners(owners); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 7; p++ {
+		if m.BoardOf(p) != m2.BoardOf(p) {
+			t.Fatalf("partition %d: %d != %d after round trip", p, m.BoardOf(p), m2.BoardOf(p))
+		}
+	}
+	if err := m2.SetOwners(make([]int32, 3)); err == nil {
+		t.Fatal("SetOwners with wrong length accepted")
+	}
+	bad := m.Owners()
+	bad[0] = 99
+	if err := m2.SetOwners(bad); err == nil {
+		t.Fatal("SetOwners with out-of-range owner accepted")
+	}
+	if _, err := NewShardMap(5, 0); err == nil {
+		t.Fatal("zero boards accepted")
+	}
+}

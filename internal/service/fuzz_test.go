@@ -29,6 +29,16 @@ func FuzzJobSpecDecode(f *testing.F) {
 		`{"fault_config":{"retry_backoff":-1}}`,
 		`{"fault_config":null}`,
 		`{"checkpoint_every":18446744073709551615}`,
+		`{"kind":"flashwalker","graph":"MB-S","boards":4}`,
+		`{"boards":-1}`,
+		`{"boards":65}`,
+		`{"boards":2,"fabric_latency_ns":1000,"fabric_mbps":4000}`,
+		`{"fabric_latency_ns":-1}`,
+		`{"fabric_mbps":-1}`,
+		`{"boards":2,"fault_config":{"kill_board_at":500000,"kill_board":1}}`,
+		`{"boards":1,"fault_config":{"kill_board_at":500000}}`,
+		`{"boards":2,"fault_config":{"kill_board_at":500000,"kill_board":2}}`,
+		`{"fault_config":{"kill_board_at":-1}}`,
 	} {
 		f.Add([]byte(seed))
 	}
@@ -52,9 +62,17 @@ func FuzzJobSpecDecode(f *testing.F) {
 		if spec.NumWalks < 0 || spec.MemBytes < 0 {
 			t.Fatalf("validated spec kept negative scalars: %+v", spec)
 		}
+		if spec.Boards < 0 || spec.FabricLatencyNS < 0 || spec.FabricMBps < 0 {
+			t.Fatalf("validated spec kept negative array fields: %+v", spec)
+		}
 		if spec.FaultConfig != nil {
 			if fc := *spec.FaultConfig; fc.MaxRetries < 0 || fc.RetryBackoff < 0 {
 				t.Fatalf("validated spec kept invalid fault_config: %+v", fc)
+			}
+			// A validated kill must have a live target: boards > 1 and the
+			// killed index inside the array.
+			if fc := *spec.FaultConfig; fc.KillBoardAt > 0 && (spec.Boards <= 1 || fc.KillBoard >= spec.Boards) {
+				t.Fatalf("validated spec kept an untargetable kill: %+v", spec)
 			}
 		}
 	})

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"flashwalker/internal/graph"
+	"flashwalker/internal/harness"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
@@ -210,8 +211,17 @@ func TestServiceGraphEndpoints(t *testing.T) {
 
 	var graphs []GraphInfo
 	getJSON(t, srv.URL+"/v1/graphs", &graphs)
-	if len(graphs) != 5 {
-		t.Fatalf("listed %d graphs, want the 5 datasets", len(graphs))
+	if want := len(harness.Datasets()) + len(harness.ExtraDatasets()); len(graphs) != want {
+		t.Fatalf("listed %d graphs, want the %d registry datasets", len(graphs), want)
+	}
+	found := false
+	for _, gi := range graphs {
+		if gi.Name == "MB-S" && gi.Source == "dataset" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("multi-board preset MB-S missing from the graph listing")
 	}
 
 	// Load a custom graph file and run a job against it.

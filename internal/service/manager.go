@@ -16,6 +16,7 @@ import (
 	"flashwalker/internal/fault"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
+	"flashwalker/internal/sim"
 	"flashwalker/internal/snapshot"
 	"flashwalker/internal/walk"
 )
@@ -77,6 +78,16 @@ type JobSpec struct {
 	// FlashWalker jobs (ignored by the host baseline). An invalid config is
 	// rejected at submission — 400, not an async worker failure.
 	FaultConfig *fault.Config `json:"fault_config,omitempty"`
+	// Boards selects the simulated device topology for FlashWalker jobs:
+	// 0 or 1 runs the classic single board, N > 1 an N-board SSD array
+	// over the inter-board fabric (ignored by the host baseline).
+	Boards int `json:"boards,omitempty"`
+	// FabricLatencyNS overrides the fabric per-message latency (ns); 0
+	// keeps the engine default. Only meaningful with Boards > 1.
+	FabricLatencyNS int64 `json:"fabric_latency_ns,omitempty"`
+	// FabricMBps overrides the per-board fabric bandwidth (MB/s); 0 keeps
+	// the engine default. Only meaningful with Boards > 1.
+	FabricMBps int64 `json:"fabric_mbps,omitempty"`
 }
 
 // validate is the pure half of normalize: shape checks only, no registry
@@ -99,6 +110,26 @@ func (s *JobSpec) validate() error {
 	if s.FaultConfig != nil {
 		if err := s.FaultConfig.Validate(); err != nil {
 			return fmt.Errorf("service: fault_config: %w", err)
+		}
+	}
+	if s.Boards < 0 || s.Boards > core.MaxBoards {
+		return fmt.Errorf("service: boards %d outside [0, %d]: %w", s.Boards, core.MaxBoards, errs.ErrInvalidConfig)
+	}
+	if s.FabricLatencyNS < 0 {
+		return fmt.Errorf("service: fabric_latency_ns must be non-negative: %w", errs.ErrInvalidConfig)
+	}
+	if s.FabricMBps < 0 {
+		return fmt.Errorf("service: fabric_mbps must be non-negative: %w", errs.ErrInvalidConfig)
+	}
+	if s.FaultConfig != nil && s.FaultConfig.KillBoardAt > 0 {
+		// The whole-device kill needs survivors; reject the mismatch here so
+		// it is a 400, never an async worker failure.
+		if s.Boards <= 1 {
+			return fmt.Errorf("service: fault_config.kill_board_at requires boards > 1: %w", errs.ErrInvalidConfig)
+		}
+		if s.FaultConfig.KillBoard >= s.Boards {
+			return fmt.Errorf("service: fault_config.kill_board %d outside array of %d boards: %w",
+				s.FaultConfig.KillBoard, s.Boards, errs.ErrInvalidConfig)
 		}
 	}
 	return nil
@@ -479,12 +510,22 @@ func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 	if j.Spec.FaultConfig != nil {
 		rc.Cfg.Faults = *j.Spec.FaultConfig
 	}
+	rc.Cfg.Boards = j.Spec.Boards
+	if j.Spec.FabricLatencyNS > 0 {
+		rc.Cfg.FabricLatency = sim.Time(j.Spec.FabricLatencyNS)
+	}
+	if j.Spec.FabricMBps > 0 {
+		rc.Cfg.FabricBytesPerSec = j.Spec.FabricMBps * 1_000_000
+	}
 	rc.OnProgress = func(p core.Progress) {
 		j.progress.Store(&Progress{
 			SimTimeNS: int64(p.Now), Events: p.Events,
 			Started: p.Started, Completed: p.Completed, DeadEnded: p.DeadEnded,
 			Hops: p.Hops, WalksFinished: p.WalksFinished(),
 		})
+	}
+	if j.Spec.Boards > 1 {
+		return m.runFlashWalkerArray(ctx, j, g, rc)
 	}
 	if m.stateDir != "" {
 		snapPath := m.snapshotPath(j.ID)
@@ -524,6 +565,49 @@ func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 		return nil, err
 	}
 	r, err := e.RunContext(ctx)
+	return coreJobResult(r, err)
+}
+
+// runFlashWalkerArray is the multi-board leg of runFlashWalker: the same
+// durability contract (snapshot at the checkpoint cadence, resume a
+// recovered job from its last image), with the array's fleet-wide snapshot
+// under its own kind tag.
+func (m *Manager) runFlashWalkerArray(ctx context.Context, j *Job, g *graph.Graph, rc core.RunConfig) (*JobResult, error) {
+	if m.stateDir != "" {
+		snapPath := m.snapshotPath(j.ID)
+		every := j.Spec.CheckpointEvery
+		if every == 0 {
+			every = core.DefaultCheckpointEvery
+		}
+		var lastWrite time.Time
+		onSnap := func(s *core.ArraySnapshot) {
+			if time.Since(lastWrite) < snapshotMinInterval {
+				return
+			}
+			lastWrite = time.Now()
+			_ = snapshot.WriteFile(snapPath, snapKindArray, s)
+		}
+		var snap core.ArraySnapshot
+		if snapshot.ReadFile(snapPath, snapKindArray, &snap) == nil {
+			r, err := core.ResumeArrayContext(ctx, g, &snap, core.ArrayResumeOptions{
+				OnProgress: rc.OnProgress, OnSnapshot: onSnap,
+				SnapshotEvery: every * snapshotCheckpointRatio, CheckpointEvery: j.Spec.CheckpointEvery,
+			})
+			return coreJobResult(r, err)
+		}
+		a, err := core.NewArray(g, rc)
+		if err != nil {
+			return nil, err
+		}
+		a.SetSnapshotHook(onSnap, every*snapshotCheckpointRatio)
+		r, err := a.RunContext(ctx)
+		return coreJobResult(r, err)
+	}
+	a, err := core.NewArray(g, rc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.RunContext(ctx)
 	return coreJobResult(r, err)
 }
 

@@ -34,6 +34,7 @@ import (
 // Snapshot container kind tags.
 const (
 	snapKindCore     = "flashwalker-core-engine"
+	snapKindArray    = "flashwalker-core-array"
 	snapKindBaseline = "flashwalker-baseline-engine"
 )
 

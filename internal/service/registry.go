@@ -56,10 +56,14 @@ type Registry struct {
 }
 
 // NewRegistry returns a registry prepopulated with the five scaled
-// Table IV dataset analogues. Their graphs generate lazily on first use.
+// Table IV dataset analogues plus the extra presets (the multi-board
+// MB-S). Their graphs generate lazily on first use.
 func NewRegistry() *Registry {
 	r := &Registry{entries: map[string]*regEntry{}}
 	for _, d := range harness.Datasets() {
+		r.entries[d.Name] = &regEntry{ds: d, source: "dataset"}
+	}
+	for _, d := range harness.ExtraDatasets() {
 		r.entries[d.Name] = &regEntry{ds: d, source: "dataset"}
 	}
 	return r
