@@ -10,6 +10,7 @@ package flashwalker
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"flashwalker/internal/core"
@@ -18,6 +19,12 @@ import (
 	"flashwalker/internal/sim"
 	"flashwalker/internal/walk"
 )
+
+// batchKernelDisabled turns the batched update kernel off for every
+// engine-level bench in this file (FLASHWALKER_NO_BATCH=1). BENCH_PR7.json's
+// "baseline" section was captured with it set, the "after" section without;
+// outcomes are bit-identical either way, only wall-clock moves.
+var batchKernelDisabled = os.Getenv("FLASHWALKER_NO_BATCH") == "1"
 
 // benchScale reduces every experiment's walk counts (1.0 = the scaled
 // defaults used by cmd/experiments).
@@ -173,13 +180,16 @@ func BenchmarkFlashWalkerTT(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	var hops uint64
 	for i := 0; i < b.N; i++ {
 		res, err := harness.RunFlashWalker(context.Background(), d, core.AllOptions(), 5000, benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
+		hops += res.Hops
 		b.ReportMetric(res.HopRate()/1e6, "sim-Mhops/s")
 	}
+	b.ReportMetric(float64(hops)/1e6/b.Elapsed().Seconds(), "wall-Mhops/s")
 }
 
 // BenchmarkGraphWalkerTT is the baseline counterpart of
@@ -267,6 +277,7 @@ func runFSWith(b *testing.B, mutate func(rc *core.RunConfig)) *core.Result {
 		b.Fatal(err)
 	}
 	rc := harness.FlashWalkerConfig(d, core.AllOptions(), 5000, benchSeed)
+	rc.Cfg.DisableBatchKernel = batchKernelDisabled
 	mutate(&rc)
 	e, err := core.NewEngine(g, rc)
 	if err != nil {
@@ -340,13 +351,57 @@ func BenchmarkAblationTablePorts(b *testing.B) {
 // p/q) walk extension against first-order walks of the same shape: the
 // overhead is the edge-filter probe traffic.
 func BenchmarkSecondOrderWalks(b *testing.B) {
+	var hops uint64
 	for i := 0; i < b.N; i++ {
 		res := runFSWith(b, func(rc *core.RunConfig) {
 			rc.Spec = walk.Spec{Kind: walk.SecondOrder, Length: 6, P: 0.5, Q: 2}
 		})
+		hops += res.Hops
 		b.ReportMetric(res.Time.Seconds()*1e6, "sim-us")
 		b.ReportMetric(float64(res.FilterProbes), "filter-probes")
 	}
+	b.ReportMetric(float64(hops)/1e6/b.Elapsed().Seconds(), "wall-Mhops/s")
+}
+
+// BenchmarkBatchSecondOrder is the figure-scale workload the batched update
+// kernel (internal/core/batch.go) targets: the FS-S second-order run at the
+// full scaled walk count, where per-hop CPU — adjacency gathers and
+// rejection-sampler bloom probes — dominates wall-clock. wall-Mhops/s is
+// simulated hops retired per wall-clock second (host throughput; sim-us,
+// the simulated timeline, is bit-identical with the kernel on or off).
+// BENCH_PR7.json stores this bench unbatched (baseline) vs batched (after).
+func BenchmarkBatchSecondOrder(b *testing.B) {
+	d, err := harness.DatasetByName("FS-S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := d.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const walks = 40_000
+	var hops uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Engine construction (partitioning, edge-filter build) is setup,
+		// not step rate: only the walk drain is timed.
+		b.StopTimer()
+		rc := harness.FlashWalkerConfig(d, core.AllOptions(), walks, benchSeed)
+		rc.Spec = walk.Spec{Kind: walk.SecondOrder, Length: 6, P: 0.5, Q: 2}
+		rc.Cfg.DisableBatchKernel = batchKernelDisabled
+		e, err := core.NewEngine(g, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops += res.Hops
+		b.ReportMetric(res.Time.Seconds()*1e6, "sim-us")
+	}
+	b.ReportMetric(float64(hops)/1e6/b.Elapsed().Seconds(), "wall-Mhops/s")
 }
 
 // BenchmarkAblationBiasedSampler compares the paper's ITS binary search

@@ -10,9 +10,18 @@
 //	fmtbench <file> <section>
 //	                  re-emit a section in standard benchmark text format,
 //	                  suitable for benchstat against a fresh run
+//	gate <file> [section]
+//	                  read a fresh `go test -bench` run on stdin and compare
+//	                  it against the stored section (default "after"): exit 1
+//	                  when any benchmark regresses by more than 25% — on its
+//	                  step-rate metric (wall-Mhops/s / sim-Mhops/s) when the
+//	                  stored entry has one, on ns/op otherwise. Stored
+//	                  benchmarks missing from the fresh run only warn, so a
+//	                  narrowed CI run cannot fail on absence.
 //
-// diff never fails the build: the comparison is informational (CI posts it
-// next to the uploaded run artifact; regressions are judged by a human).
+// diff never fails the build: the comparison is informational. gate is the
+// CI bench lane's soft gate — generous enough (25%) that shared-runner
+// noise passes, tight enough that a real step-rate regression goes red.
 package main
 
 import (
@@ -64,13 +73,23 @@ func main() {
 			usage()
 		}
 		fmtbench(os.Args[2], os.Args[3])
+	case "gate":
+		section := "after"
+		switch len(os.Args) {
+		case 3:
+		case 4:
+			section = os.Args[3]
+		default:
+			usage()
+		}
+		gate(os.Args[2], section)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchdiff parse | diff <file> | fmtbench <file> <section>")
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse | diff <file> | fmtbench <file> <section> | gate <file> [section]")
 	os.Exit(2)
 }
 
@@ -205,4 +224,81 @@ func fmtbench(path, section string) {
 		}
 		fmt.Println(line)
 	}
+}
+
+// gateTolerance is the soft gate's regression budget: a benchmark fails
+// when it loses more than 25% of its stored step rate (or gains more than
+// 25% ns/op when no step-rate metric is stored).
+const gateTolerance = 1.25
+
+// stepRateUnits are the throughput metrics the gate prefers over raw
+// ns/op, in priority order (higher values are better).
+var stepRateUnits = []string{"wall-Mhops/s", "sim-Mhops/s"}
+
+// gate compares a fresh benchmark run (stdin) against the stored section
+// and exits non-zero on a >25% regression. Step-rate metrics are judged
+// when stored — they are what the baselines exist to protect — with ns/op
+// as the fallback; missing benchmarks warn instead of failing so CI can
+// gate on a subset run.
+func gate(path, section string) {
+	bf := loadFile(path)
+	var stored map[string]benchResult
+	switch section {
+	case "baseline":
+		stored = bf.Baseline
+	case "after":
+		stored = bf.After
+	default:
+		fatal(fmt.Errorf("unknown section %q (want baseline or after)", section))
+	}
+	fresh := parseBench(os.Stdin)
+
+	names := make([]string, 0, len(stored))
+	for name := range stored {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := stored[name]
+		got, ok := fresh[name]
+		if !ok {
+			fmt.Printf("gate: %-32s WARN: missing from fresh run\n", name)
+			continue
+		}
+		judged := false
+		for _, unit := range stepRateUnits {
+			b, f := base.Metrics[unit], got.Metrics[unit]
+			if b <= 0 || f <= 0 {
+				continue
+			}
+			judged = true
+			if b/f > gateTolerance {
+				fmt.Printf("gate: %-32s FAIL: %s %.4g -> %.4g (-%.0f%%, budget 25%%)\n",
+					name, unit, b, f, (1-f/b)*100)
+				failed = true
+			} else {
+				fmt.Printf("gate: %-32s ok: %s %.4g -> %.4g\n", name, unit, b, f)
+			}
+			break
+		}
+		if judged {
+			continue
+		}
+		if base.NsPerOp > 0 && got.NsPerOp > 0 {
+			if got.NsPerOp/base.NsPerOp > gateTolerance {
+				fmt.Printf("gate: %-32s FAIL: ns/op %.4g -> %.4g (+%.0f%%, budget 25%%)\n",
+					name, base.NsPerOp, got.NsPerOp, (got.NsPerOp/base.NsPerOp-1)*100)
+				failed = true
+			} else {
+				fmt.Printf("gate: %-32s ok: ns/op %.4g -> %.4g\n", name, base.NsPerOp, got.NsPerOp)
+			}
+		}
+	}
+	if failed {
+		fmt.Println("gate: step-rate regression beyond the 25% budget")
+		os.Exit(1)
+	}
+	fmt.Println("gate: all benchmarks within the 25% budget")
 }

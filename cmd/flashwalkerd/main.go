@@ -5,6 +5,7 @@
 // Usage:
 //
 //	flashwalkerd [-addr :8080] [-workers 2] [-queue 16] [-state-dir DIR]
+//	             [-corpus-cache 16]
 //
 // With -state-dir, jobs are durable: specs are journaled at submission,
 // running engines checkpoint to snapshot files at their checkpoint_every
@@ -22,6 +23,7 @@
 //	GET  /v1/jobs              list jobs
 //	GET  /v1/jobs/{id}         job status with live progress
 //	POST /v1/jobs/{id}/cancel  cancel (running jobs keep a partial result)
+//	GET  /v1/jobs/{id}/corpus  a finished "deepwalk" job's corpus text
 //	GET  /v1/graphs            registered graphs
 //	POST /v1/graphs            {"name":"my-graph","path":"g.bin"}
 //	GET  /healthz              liveness
@@ -50,20 +52,23 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent jobs")
 	queue := flag.Int("queue", 16, "bounded job queue depth")
 	stateDir := flag.String("state-dir", "", "durable job state directory (empty: in-memory only)")
+	corpusCache := flag.Int("corpus-cache", 0,
+		"precomputed walk-corpus cache entries for deepwalk jobs (0: default 16, negative: disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *stateDir); err != nil {
+	if err := run(*addr, *workers, *queue, *stateDir, *corpusCache); err != nil {
 		fmt.Fprintln(os.Stderr, "flashwalkerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, stateDir string) error {
+func run(addr string, workers, queue int, stateDir string, corpusCache int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	m, err := service.NewManager(service.NewRegistry(), service.Config{
 		Workers: workers, QueueDepth: queue, StateDir: stateDir,
+		CorpusCacheEntries: corpusCache,
 	})
 	if err != nil {
 		return err

@@ -61,33 +61,40 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// indexes derives the k bit positions with double hashing.
-func (f *Filter) indexes(key uint64, out []uint64) {
-	h1 := mix(key ^ f.seed)
-	h2 := mix(key + f.seed)
-	h2 |= 1 // ensure odd stride
-	for i := 0; i < f.k; i++ {
-		out[i] = (h1 + uint64(i)*h2) % f.nbits
-	}
+// hashes derives the double-hashing bases; bit i lives at
+// (h1 + i*h2) % nbits.
+func (f *Filter) hashes(key uint64) (h1, h2 uint64) {
+	h1 = mix(key ^ f.seed)
+	h2 = mix(key+f.seed) | 1 // ensure odd stride
+	return
 }
 
 // Add inserts key into the filter.
 func (f *Filter) Add(key uint64) {
-	var idx [16]uint64
-	f.indexes(key, idx[:f.k])
-	for _, b := range idx[:f.k] {
-		f.bits[b/64] |= 1 << (b % 64)
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[b>>6] |= 1 << (b & 63)
 	}
 	f.added++
 }
 
 // Contains reports whether key may have been added. False means definitely
 // not added; true may be a false positive.
+//
+// Positions are computed lazily so a negative probe — the common case on
+// the second-order sampler's hot path, where most candidates are not
+// neighbors of prev — stops at its first zero bit instead of paying all k
+// modular reductions and bit reads up front. The position formula must
+// stay (h1 + i*h2) % nbits computed in wrapping uint64 arithmetic — i*h2
+// overflows by design, so an incremental "add h2 mod nbits" rewrite would
+// move bits and change answers. Identical positions mean identical
+// answers, and with them identical trajectories.
 func (f *Filter) Contains(key uint64) bool {
-	var idx [16]uint64
-	f.indexes(key, idx[:f.k])
-	for _, b := range idx[:f.k] {
-		if f.bits[b/64]&(1<<(b%64)) == 0 {
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[b>>6]&(1<<(b&63)) == 0 {
 			return false
 		}
 	}

@@ -60,18 +60,19 @@ func TestQueryCacheFrontHitNoShift(t *testing.T) {
 	if id, ok := qc.lookup(15); !ok || id != 1 {
 		t.Fatalf("front lookup = %d,%v", id, ok)
 	}
-	want := []int{1, 2, 3}
-	for i, e := range qc.entries {
-		if e.blockID != want[i] {
-			t.Fatalf("entry order after front hit = %v at %d, want %v", e.blockID, i, want)
+	want := []int32{1, 2, 3}
+	for i := 0; i < qc.n; i++ {
+		id := qc.blockIDs[qc.slot(i)]
+		if id != want[i] {
+			t.Fatalf("entry order after front hit = %v at %d, want %v", id, i, want)
 		}
 	}
 	// A non-front hit still promotes.
 	if id, ok := qc.lookup(35); !ok || id != 3 {
 		t.Fatalf("mid lookup = %d,%v", id, ok)
 	}
-	if qc.entries[0].blockID != 3 {
-		t.Fatalf("entry %d at front after touch, want 3", qc.entries[0].blockID)
+	if qc.blockIDs[qc.head] != 3 {
+		t.Fatalf("entry %d at front after touch, want 3", qc.blockIDs[qc.head])
 	}
 }
 
@@ -90,7 +91,7 @@ func BenchmarkQueryCacheLookup(b *testing.B) {
 	}
 	b.Run("front-hit", func(b *testing.B) {
 		qc := build()
-		front := qc.entries[0].low
+		front := qc.ranges[qc.slot(0)].lo
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			qc.lookup(front + 5)
@@ -102,7 +103,7 @@ func BenchmarkQueryCacheLookup(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			// The hit promotes to front, so probing two spots alternates
 			// between them and every lookup pays a mid-depth shift.
-			qc.lookup(qc.entries[entries/2].low + 5)
+			qc.lookup(qc.ranges[qc.slot(entries/2)].lo + 5)
 		}
 	})
 	b.Run("miss", func(b *testing.B) {

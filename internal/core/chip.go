@@ -313,8 +313,18 @@ func (c *chipAccel) loadPartDone(s *chipSlot) {
 		c.e.putWalkBuf(walks)
 		return
 	}
-	for i := range walks {
-		c.enqueue(s, walks[i])
+	if len(walks) > 1 && !c.e.cfg.DisableBatchKernel {
+		// Batched kernel (batch.go): decide the whole burst in one
+		// locality-sorted pass, then dispatch in arrival order so the
+		// timeline is bit-identical to the per-walk loop below.
+		outs := c.e.decideBatch(walks)
+		for i := range walks {
+			c.enqueueDecided(s, outs[i])
+		}
+	} else {
+		for i := range walks {
+			c.enqueue(s, walks[i])
+		}
 	}
 	c.e.putWalkBuf(walks)
 }
@@ -333,9 +343,15 @@ func (c *chipAccel) EnqueueUpdate(st wstate) {
 
 // enqueue hands a walk to the slot's queue; the updater serves it FIFO.
 func (c *chipAccel) enqueue(s *chipSlot, st wstate) {
+	c.enqueueDecided(s, c.e.decideHop(st))
+}
+
+// enqueueDecided is enqueue for a hop already decided by the batch kernel:
+// everything with a device-visible effect (probe charges, wnode allocation,
+// the service-time dispatch) happens here, in the caller's order.
+func (c *chipAccel) enqueueDecided(s *chipSlot, h hopOutcome) {
 	s.pending++
 	s.idle = false
-	h := c.e.decideHop(st)
 	c.e.chargeFilterProbes(h, c)
 	ref, n := c.e.newNode()
 	n.st, n.terminal, n.deadEnd = h.next, h.terminal, h.deadEnd

@@ -158,8 +158,12 @@ func (e *Engine) HandleEvent(ev sim.Event) {
 	case evChanBatch:
 		batch := e.takeBatch(ev.A)
 		ca := e.chans[ev.B]
-		for i := range batch {
-			ca.Guide(batch[i])
+		if len(batch) > 1 && !e.cfg.DisableBatchKernel {
+			ca.guideBatch(batch)
+		} else {
+			for i := range batch {
+				ca.Guide(batch[i])
+			}
 		}
 		e.putWalkBuf(batch)
 

@@ -449,10 +449,11 @@ func (e *Engine) buildSnapshotBody(targetID func(sim.Handler) (int32, error)) (*
 	}
 	for i, qc := range b.caches {
 		c := CacheState{Hits: qc.hits, Misses: qc.misses}
-		for _, en := range qc.entries {
-			c.Lows = append(c.Lows, en.low)
-			c.Highs = append(c.Highs, en.high)
-			c.Blocks = append(c.Blocks, en.blockID)
+		for j := 0; j < qc.n; j++ {
+			p := qc.slot(j)
+			c.Lows = append(c.Lows, qc.ranges[p].lo)
+			c.Highs = append(c.Highs, qc.ranges[p].hi)
+			c.Blocks = append(c.Blocks, int(qc.blockIDs[p]))
 		}
 		bs.Caches[i] = c
 	}
@@ -675,9 +676,9 @@ func (e *Engine) restoreBody(snap *Snapshot, target func(int32) (sim.Handler, er
 	b.portRR = snap.Board.PortRR
 	for i, qc := range b.caches {
 		cs := &snap.Board.Caches[i]
-		qc.entries = qc.entries[:0]
+		qc.invalidate()
 		for j := range cs.Lows {
-			qc.entries = append(qc.entries, cachedEntry{low: cs.Lows[j], high: cs.Highs[j], blockID: cs.Blocks[j]})
+			qc.insertTail(cs.Lows[j], cs.Highs[j], cs.Blocks[j])
 		}
 		qc.hits = cs.Hits
 		qc.misses = cs.Misses

@@ -10,17 +10,30 @@ import (
 // vertex range covers the queried vertex; hot subgraphs therefore stay
 // resident in every cache, which is exactly the locality argument the
 // paper makes (binary-search upper levels + power-law walk skew).
+// Entries live in a fixed ring ordered by recency: logical position i
+// (0 = most recent) occupies physical slot (head+i) % capacity. The miss
+// path — the common case at figure scale, where ~80% of probes resolve
+// outside the cache — scans all entries and then inserts, so both halves
+// are engineered for it: the scan streams dense 16-byte {lo, hi} pairs a
+// prefetcher can follow, and the ring makes insert-at-front O(1) where a
+// shifted array paid a full-cache memmove per miss. Hits still pay the
+// move-to-front shift, but under power-law walk skew they sit near the
+// front.
+// Recency order is semantically load-bearing, not just an eviction policy:
+// a dense single-vertex block's range can sit inside a normal block's
+// range, and on overlap the MOST RECENTLY touched entry answers — so hits
+// must keep the exact shift-to-front behavior (a cheaper swap would
+// reorder the middle of the cache and change later answers).
+type vrange struct{ lo, hi graph.VertexID }
+
 type queryCache struct {
 	capacity int
-	// entries holds block IDs ordered by recency (front = most recent).
-	entries []cachedEntry
-	hits    uint64
-	misses  uint64
-}
-
-type cachedEntry struct {
-	low, high graph.VertexID
-	blockID   int
+	ranges   []vrange // ring, physical slot = (head + logical) % capacity
+	blockIDs []int32
+	head     int // physical slot of the most recent entry
+	n        int // live entries
+	hits     uint64
+	misses   uint64
 }
 
 func newQueryCache(capacityBytes, entryBytes int64) *queryCache {
@@ -31,38 +44,118 @@ func newQueryCache(capacityBytes, entryBytes int64) *queryCache {
 	return &queryCache{capacity: cap}
 }
 
+// slot maps a logical recency position to its physical ring slot.
+func (qc *queryCache) slot(i int) int {
+	p := qc.head + i
+	if p >= qc.capacity {
+		p -= qc.capacity
+	}
+	return p
+}
+
 // lookup probes the cache for v, returning the covering block ID on hit.
+// The scan costs one unsigned compare per entry: lo <= v <= hi is exactly
+// v-lo <= hi-lo in uint64 arithmetic (v < lo wraps v-lo past any width),
+// and the re-sliced spans let the compiler drop per-element bounds checks.
 func (qc *queryCache) lookup(v graph.VertexID) (blockID int, ok bool) {
-	for i := range qc.entries {
-		e := qc.entries[i]
-		if v >= e.low && v <= e.high {
+	r := qc.ranges
+	// Scan the ring in recency order: [head, end) then the wrapped prefix.
+	hi := qc.head + qc.n
+	if hi > len(r) {
+		hi = len(r)
+	}
+	s := r[qc.head:hi]
+	for j := range s {
+		if v-s[j].lo <= s[j].hi-s[j].lo {
 			qc.hits++
-			if i > 0 {
-				// Move to front (LRU touch); a front hit — the common case
-				// under power-law walk skew — skips the shift entirely.
-				copy(qc.entries[1:i+1], qc.entries[:i])
-				qc.entries[0] = e
+			if j > 0 {
+				qc.promote(j)
 			}
-			return e.blockID, true
+			return int(qc.blockIDs[qc.head]), true
+		}
+	}
+	if w := qc.head + qc.n - len(r); w > 0 {
+		s := r[:w]
+		for j := range s {
+			if v-s[j].lo <= s[j].hi-s[j].lo {
+				qc.hits++
+				qc.promote(j + len(r) - qc.head)
+				return int(qc.blockIDs[qc.head]), true
+			}
 		}
 	}
 	qc.misses++
 	return -1, false
 }
 
-// insert caches a resolved entry at the front, evicting the LRU tail.
-func (qc *queryCache) insert(low, high graph.VertexID, blockID int) {
-	e := cachedEntry{low: low, high: high, blockID: blockID}
-	if len(qc.entries) < qc.capacity {
-		qc.entries = append(qc.entries, cachedEntry{})
+// promote shifts logical entries [0, i) one position later and moves the
+// entry at logical depth i to the front — the exact move-to-front the
+// recency semantics require. The shift is at most three memmoves (the ring
+// wraps once at most), not an element-by-element walk.
+func (qc *queryCache) promote(i int) {
+	p := qc.slot(i)
+	lohi, id := qc.ranges[p], qc.blockIDs[p]
+	r, b := qc.ranges, qc.blockIDs
+	if p >= qc.head {
+		// Contiguous: physical [head, p) moves to [head+1, p+1).
+		copy(r[qc.head+1:p+1], r[qc.head:p])
+		copy(b[qc.head+1:p+1], b[qc.head:p])
+	} else {
+		// Wrapped: shift the prefix [0, p) first, carry the last slot
+		// around the seam, then shift the tail [head, cap-1).
+		copy(r[1:p+1], r[:p])
+		copy(b[1:p+1], b[:p])
+		last := len(r) - 1
+		r[0], b[0] = r[last], b[last]
+		copy(r[qc.head+1:], r[qc.head:last])
+		copy(b[qc.head+1:], b[qc.head:last])
 	}
-	copy(qc.entries[1:], qc.entries[:len(qc.entries)-1])
-	qc.entries[0] = e
+	r[qc.head] = lohi
+	b[qc.head] = id
+}
+
+// insert caches a resolved entry at the front, evicting the LRU tail when
+// full: the ring's head steps back onto the tail slot, so eviction is the
+// overwrite itself — no shifting.
+func (qc *queryCache) insert(low, high graph.VertexID, blockID int) {
+	if qc.ranges == nil {
+		qc.ranges = make([]vrange, qc.capacity)
+		qc.blockIDs = make([]int32, qc.capacity)
+	}
+	qc.head--
+	if qc.head < 0 {
+		qc.head = qc.capacity - 1
+	}
+	if qc.n < qc.capacity {
+		qc.n++
+	}
+	qc.ranges[qc.head] = vrange{lo: low, hi: high}
+	qc.blockIDs[qc.head] = int32(blockID)
+}
+
+// insertTail appends an entry at the LRU tail, preserving the order of the
+// entries already present. Snapshot restore uses it to rebuild the recency
+// order exactly as saved (front first).
+func (qc *queryCache) insertTail(low, high graph.VertexID, blockID int) {
+	if qc.ranges == nil {
+		qc.ranges = make([]vrange, qc.capacity)
+		qc.blockIDs = make([]int32, qc.capacity)
+	}
+	if qc.n == qc.capacity {
+		return // restoring more entries than capacity cannot happen; guard anyway
+	}
+	p := qc.slot(qc.n)
+	qc.ranges[p] = vrange{lo: low, hi: high}
+	qc.blockIDs[p] = int32(blockID)
+	qc.n++
 }
 
 // invalidate clears the cache (used on partition switches: entries map
 // vertices of the old partition's table).
-func (qc *queryCache) invalidate() { qc.entries = qc.entries[:0] }
+func (qc *queryCache) invalidate() {
+	qc.head = 0
+	qc.n = 0
+}
 
 // unitPool models a pool of identical hardware units (updaters or guiders)
 // as N serializing servers with least-loaded dispatch: a job of the given

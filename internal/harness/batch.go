@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"flashwalker/internal/core"
+	"flashwalker/internal/metrics"
+	"flashwalker/internal/sim"
+	"flashwalker/internal/walk"
+)
+
+// BatchRow is one kernel mode's outcome in the batched-update-kernel
+// extension experiment: the same figure-scale second-order workload decided
+// per-walk versus in locality-sorted batches (core/batch.go), measured in
+// HOST wall-clock. The simulated timeline is bit-identical by construction,
+// so the only axis that can move is how fast the host retires it.
+type BatchRow struct {
+	Kernel    string // "per-walk" or "batched"
+	Walks     int
+	Wall      time.Duration
+	SimTime   sim.Time
+	Hops      uint64
+	WallMhops float64 // simulated hops retired per wall-clock second, millions
+	Speedup   float64 // per-walk wall time / this wall time
+}
+
+// ExtBatch runs the FS-S second-order workload with the batched update
+// kernel off and then on, sequentially on an otherwise idle process so the
+// wall-clock numbers are comparable, and enforces the kernel's equivalence
+// guarantee in production form: if batching changes any outcome — walks
+// completed, hops, the simulated finish time, or the filter-probe count —
+// the experiment fails rather than reporting a meaningless speedup.
+func ExtBatch(ctx context.Context, scale float64, seed uint64) ([]BatchRow, error) {
+	d, err := DatasetByName("FS-S")
+	if err != nil {
+		return nil, err
+	}
+	g, err := d.Graph()
+	if err != nil {
+		return nil, err
+	}
+	walks := scaleWalks(d.DefaultWalks, scale)
+
+	run := func(disable bool) (*core.Result, time.Duration, error) {
+		rc := FlashWalkerConfig(d, core.AllOptions(), walks, seed)
+		rc.Spec = walk.Spec{Kind: walk.SecondOrder, Length: 6, P: 0.5, Q: 2}
+		rc.Cfg.DisableBatchKernel = disable
+		e, err := core.NewEngine(g, rc)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		res, err := e.RunContext(ctx)
+		return res, time.Since(start), err
+	}
+
+	perWalk, perWalkWall, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("per-walk kernel: %w", err)
+	}
+	batched, batchedWall, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("batched kernel: %w", err)
+	}
+
+	if batched.Completed != perWalk.Completed || batched.Hops != perWalk.Hops ||
+		batched.Time != perWalk.Time || batched.FilterProbes != perWalk.FilterProbes {
+		return nil, fmt.Errorf("batched kernel diverged from per-walk: completed %d vs %d, hops %d vs %d, time %v vs %v, probes %d vs %d",
+			batched.Completed, perWalk.Completed, batched.Hops, perWalk.Hops,
+			batched.Time, perWalk.Time, batched.FilterProbes, perWalk.FilterProbes)
+	}
+
+	row := func(kernel string, res *core.Result, wall time.Duration) BatchRow {
+		return BatchRow{
+			Kernel: kernel, Walks: walks,
+			Wall: wall, SimTime: res.Time, Hops: res.Hops,
+			WallMhops: float64(res.Hops) / 1e6 / wall.Seconds(),
+			Speedup:   float64(perWalkWall) / float64(wall),
+		}
+	}
+	return []BatchRow{
+		row("per-walk", perWalk, perWalkWall),
+		row("batched", batched, batchedWall),
+	}, nil
+}
+
+// FormatExtBatch renders the kernel before/after comparison.
+func FormatExtBatch(rows []BatchRow) string {
+	t := &metrics.Table{
+		Title:   "Extension: batched update kernel (FS-S second-order), identical walk outcomes",
+		Headers: []string{"kernel", "walks", "wall", "sim time", "hops", "wall-Mhops/s", "speedup"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Kernel, fmt.Sprint(r.Walks),
+			r.Wall.Round(time.Millisecond).String(), r.SimTime.String(),
+			fmt.Sprint(r.Hops), fmt.Sprintf("%.3f", r.WallMhops),
+			fmt.Sprintf("%.3fx", r.Speedup))
+	}
+	return t.Render()
+}
+
+// BatchCSV writes the kernel-comparison rows as CSV.
+func BatchCSV(w io.Writer, rows []BatchRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Kernel, strconv.Itoa(r.Walks),
+			strconv.FormatInt(r.Wall.Nanoseconds(), 10), ns(r.SimTime),
+			strconv.FormatUint(r.Hops, 10), f(r.WallMhops), f(r.Speedup),
+		}
+	}
+	return writeCSV(w, []string{
+		"kernel", "walks", "wall_ns", "sim_time_ns", "hops", "wall_mhops_per_s", "speedup",
+	}, out)
+}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"flashwalker/internal/errs"
+)
+
+// TestDeepWalkCorpusCacheHit is the corpus-cache acceptance criterion:
+// resubmitting an identical DeepWalk job returns an identical corpus
+// without invoking the engine, proven via the engine-run counter.
+func TestDeepWalkCorpusCacheHit(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	defer m.Close()
+
+	spec := JobSpec{Kind: KindDeepWalk, Graph: "TT-S", Seed: 7, WalksPerVertex: 1, WalkLength: 4}
+	first, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, first)
+	st := first.Status()
+	if st.State != StateDone {
+		t.Fatalf("first job: state %s, error %q", st.State, st.Error)
+	}
+	if st.Result.CorpusCached {
+		t.Fatal("first job claims a cache hit on an empty cache")
+	}
+	if st.Result.CorpusWalks == 0 || st.Result.CorpusSHA256 == "" {
+		t.Fatalf("first job produced no corpus: %+v", st.Result)
+	}
+	if runs := m.CorpusEngineRuns(); runs != 1 {
+		t.Fatalf("engine runs after first job: %d, want 1", runs)
+	}
+	firstCorpus := first.Corpus()
+	if firstCorpus == nil {
+		t.Fatal("first job has no attached corpus")
+	}
+
+	// Identical resubmission: must be served from the cache — identical
+	// bytes, identical seal, and the engine-run counter unchanged.
+	second, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, second)
+	st2 := second.Status()
+	if st2.State != StateDone {
+		t.Fatalf("second job: state %s, error %q", st2.State, st2.Error)
+	}
+	if !st2.Result.CorpusCached {
+		t.Fatal("identical resubmission was not served from the cache")
+	}
+	if st2.Result.CorpusSHA256 != st.Result.CorpusSHA256 {
+		t.Fatalf("corpus seal changed: %s vs %s", st2.Result.CorpusSHA256, st.Result.CorpusSHA256)
+	}
+	if !bytes.Equal(second.Corpus().Data, firstCorpus.Data) {
+		t.Fatal("cached corpus bytes differ from the original")
+	}
+	if runs := m.CorpusEngineRuns(); runs != 1 {
+		t.Fatalf("cache hit still invoked the engine: %d runs", runs)
+	}
+
+	// Any key change — here the seed — must miss and re-run the engine.
+	diff := spec
+	diff.Seed = 8
+	third, err := m.Submit(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, third)
+	if st3 := third.Status(); st3.State != StateDone || st3.Result.CorpusCached {
+		t.Fatalf("different-seed job: %+v", st3.Result)
+	}
+	if runs := m.CorpusEngineRuns(); runs != 2 {
+		t.Fatalf("engine runs after different-seed job: %d, want 2", runs)
+	}
+}
+
+func TestDeepWalkSpecValidation(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	defer m.Close()
+	bad := []JobSpec{
+		{Graph: "TT-S", WalksPerVertex: 2},                       // deepwalk-only field on default kind
+		{Kind: KindGraphWalker, Graph: "TT-S", WalkLength: 6},    // ... and on the baseline
+		{Kind: KindDeepWalk, Graph: "TT-S", WalksPerVertex: -1},  // negative fan-out
+		{Kind: KindDeepWalk, Graph: "TT-S", WalkLength: 1 << 21}, // over the length bound
+		{Kind: KindDeepWalk, Graph: "TT-S", WalksPerVertex: 1<<20 + 1},
+	}
+	for i, spec := range bad {
+		if _, err := m.Submit(spec); !errors.Is(err, errs.ErrInvalidConfig) {
+			t.Errorf("bad spec %d accepted (err=%v)", i, err)
+		}
+	}
+}
+
+// TestCorpusEndpointAndCacheMetrics drives the HTTP surface: the corpus
+// download endpoint and the Prometheus counters for both caches
+// (mapping-table query cache and the corpus cache).
+func TestCorpusEndpointAndCacheMetrics(t *testing.T) {
+	srv, m := newTestServer(t, Config{Workers: 1})
+
+	// A FlashWalker job feeds the query-cache aggregates.
+	fw := submitJob(t, srv, JobSpec{Graph: "TT-S", NumWalks: 500, Seed: 1})
+	if st := pollJob(t, srv, fw.ID); st.State != StateDone {
+		t.Fatalf("flashwalker job: %+v", st)
+	} else if st.Result.QueryCacheHits == 0 {
+		t.Fatalf("flashwalker job reported no query-cache hits: %+v", st.Result)
+	}
+
+	// The corpus endpoint 404s for a non-deepwalk job.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + fw.ID + "/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("corpus of a flashwalker job: %d, want 404", resp.StatusCode)
+	}
+
+	spec := JobSpec{Kind: KindDeepWalk, Graph: "TT-S", Seed: 3, WalksPerVertex: 1, WalkLength: 4}
+	dw := submitJob(t, srv, spec)
+	dwSt := pollJob(t, srv, dw.ID)
+	if dwSt.State != StateDone {
+		t.Fatalf("deepwalk job: %+v", dwSt)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + dw.ID + "/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("corpus download: %d (err=%v)", resp.StatusCode, err)
+	}
+	if got := resp.Header.Get("X-Corpus-SHA256"); got != dwSt.Result.CorpusSHA256 {
+		t.Fatalf("corpus seal header %q, result says %q", got, dwSt.Result.CorpusSHA256)
+	}
+	if lines := bytes.Count(body, []byte("\n")); lines != dwSt.Result.CorpusWalks {
+		t.Fatalf("corpus has %d lines, result says %d walks", lines, dwSt.Result.CorpusWalks)
+	}
+
+	// Resubmit for a cache hit, then check every new Prometheus series.
+	if st := pollJob(t, srv, submitJob(t, srv, spec).ID); !st.Result.CorpusCached {
+		t.Fatal("resubmission over HTTP missed the cache")
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mbody)
+	for _, want := range []string{
+		fmt.Sprintf("flashwalker_query_cache_hits_total %d", m.metrics.queryCacheHits.Load()),
+		"flashwalker_query_cache_misses_total ",
+		"flashwalker_corpus_cache_hits_total 1",
+		"flashwalker_corpus_cache_misses_total 1",
+		"flashwalker_corpus_engine_runs_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if m.metrics.queryCacheHits.Load() == 0 {
+		t.Error("query-cache hit aggregate is zero after a FlashWalker job")
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 //	GET    /v1/jobs             list all jobs
 //	GET    /v1/jobs/{id}        one job's status, live progress included
 //	POST   /v1/jobs/{id}/cancel request cancellation (202)
+//	GET    /v1/jobs/{id}/corpus a finished "deepwalk" job's corpus text
 //	GET    /v1/graphs           list registered graphs
 //	POST   /v1/graphs           load a graph file into the registry
 //	GET    /healthz             liveness probe
@@ -60,6 +62,22 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.Status())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/corpus", func(w http.ResponseWriter, r *http.Request) {
+		j, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		c := j.Corpus()
+		if c == nil {
+			writeError(w, http.StatusNotFound, errors.New("service: job has no corpus (not a finished deepwalk job)"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Corpus-SHA256", hex.EncodeToString(c.SHA[:]))
+		_, _ = w.Write(c.Data)
 	})
 
 	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {

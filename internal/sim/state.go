@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
 
 // Snapshot support: an Engine's pending schedule is plain data as long as
 // every pending event is a typed event — a (target, kind, payload) record.
@@ -13,9 +17,9 @@ import "fmt"
 // Handler identities and small integer IDs in both directions. The IDs are
 // the caller's contract with itself: export and import must agree on them.
 
-// SavedEvent is one pending heap entry in serializable form. Seq preserves
-// the insertion order, so a restored heap drains in exactly the original
-// (time, insertion) order.
+// SavedEvent is one pending scheduler entry in serializable form. Seq
+// preserves the insertion order, so a restored schedule drains in exactly
+// the original (time, insertion) order.
 type SavedEvent struct {
 	At     Time
 	Seq    uint64
@@ -46,21 +50,39 @@ func (e *Engine) ExportState(targetID func(Handler) (int32, error)) (EngineState
 		Now:       e.now,
 		Seq:       e.seq,
 		Processed: e.processed,
-		Events:    make([]SavedEvent, 0, len(e.heap)),
+		Events:    make([]SavedEvent, 0, e.Pending()),
 	}
-	for i := range e.heap {
-		ent := &e.heap[i]
+	save := func(ent *slabEntry) error {
 		if ent.ev.Target == e {
-			return EngineState{}, fmt.Errorf("sim: cannot export engine state with pending closure event at %v", ent.at)
+			return fmt.Errorf("sim: cannot export engine state with pending closure event at %v", ent.at)
 		}
 		id, err := targetID(ent.ev.Target)
 		if err != nil {
-			return EngineState{}, fmt.Errorf("sim: export event at %v: %w", ent.at, err)
+			return fmt.Errorf("sim: export event at %v: %w", ent.at, err)
 		}
 		st.Events = append(st.Events, SavedEvent{
 			At: ent.at, Seq: ent.seq, Target: id,
 			Kind: ent.ev.Kind, A: ent.ev.A, B: ent.ev.B, C: ent.ev.C,
 		})
+		return nil
+	}
+	// Walk the wheel's occupied buckets (via the occupancy bitmap) and then
+	// the overflow heap. The order is deterministic but arbitrary; Seq is
+	// what reconstructs the drain order on import.
+	for w, word := range e.bmL1 {
+		for m := word; m != 0; m &= m - 1 {
+			idx := w<<6 | bits.TrailingZeros64(m)
+			for ref := e.wheel[idx].head; ref != 0; ref = e.slab[ref-1].next {
+				if err := save(&e.slab[ref-1]); err != nil {
+					return EngineState{}, err
+				}
+			}
+		}
+	}
+	for i := range e.overflow {
+		if err := save(&e.slab[e.overflow[i].ref]); err != nil {
+			return EngineState{}, err
+		}
 	}
 	return st, nil
 }
@@ -70,11 +92,22 @@ func (e *Engine) ExportState(targetID func(Handler) (int32, error)) (EngineState
 // targetID mapping. Saved sequence numbers are preserved verbatim so ties
 // at equal timestamps break identically to the original run.
 func (e *Engine) ImportState(st EngineState, target func(int32) (Handler, error)) error {
-	if len(e.heap) != 0 || e.processed != 0 || e.now != 0 {
+	if e.Pending() != 0 || e.processed != 0 || e.now != 0 {
 		return fmt.Errorf("sim: ImportState requires a fresh engine (pending=%d processed=%d now=%v)",
-			len(e.heap), e.processed, e.now)
+			e.Pending(), e.processed, e.now)
 	}
-	for _, sv := range st.Events {
+	// Insert in (At, Seq) order: wheel buckets are FIFO lists, so arrival
+	// order inside a bucket must be seq order.
+	events := make([]SavedEvent, len(st.Events))
+	copy(events, st.Events)
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Seq < events[j].Seq
+	})
+	e.now = st.Now
+	for _, sv := range events {
 		h, err := target(sv.Target)
 		if err != nil {
 			return fmt.Errorf("sim: import event at %v: %w", sv.At, err)
@@ -82,11 +115,10 @@ func (e *Engine) ImportState(st EngineState, target func(int32) (Handler, error)
 		if h == nil {
 			return fmt.Errorf("sim: import event at %v: nil target for id %d", sv.At, sv.Target)
 		}
-		e.push(entry{at: sv.At, seq: sv.Seq, ev: Event{
+		e.insert(sv.At, sv.Seq, Event{
 			Target: h, Kind: sv.Kind, A: sv.A, B: sv.B, C: sv.C,
-		}})
+		})
 	}
-	e.now = st.Now
 	e.seq = st.Seq
 	e.processed = st.Processed
 	return nil

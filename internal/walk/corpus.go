@@ -33,10 +33,18 @@ func WriteCorpus(w io.Writer, corpus [][]graph.VertexID) error {
 	return bw.Flush()
 }
 
+// maxCorpusLine bounds a single corpus line (one walk). A walk line can
+// exceed bufio.Scanner's 64 KiB default — and the 1 MiB cap this reader
+// used to impose — easily: 50k hops of 20-digit vertex IDs is ~1 MiB, so
+// long walks on large graphs would fail with bufio.ErrTooLong. The scanner
+// grows its buffer on demand, so the generous cap costs nothing on short
+// lines.
+const maxCorpusLine = 1 << 30
+
 // ReadCorpus parses the format WriteCorpus emits. Empty lines are skipped.
 func ReadCorpus(r io.Reader) ([][]graph.VertexID, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxCorpusLine)
 	var corpus [][]graph.VertexID
 	line := 0
 	for sc.Scan() {

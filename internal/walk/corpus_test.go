@@ -57,6 +57,37 @@ func TestReadCorpusSkipsBlankLines(t *testing.T) {
 	}
 }
 
+// TestReadCorpusLongLine is the regression test for the scanner token cap:
+// a single walk whose line exceeds 1 MiB (the old Buffer max, which made
+// ReadCorpus fail with bufio.ErrTooLong) must round-trip intact.
+func TestReadCorpusLongLine(t *testing.T) {
+	// ~80k tokens of 20-digit IDs ≈ 1.7 MiB on one line.
+	long := make([]graph.VertexID, 80_000)
+	for i := range long {
+		long[i] = 18_400_000_000_000_000_000 + graph.VertexID(i)
+	}
+	corpus := [][]graph.VertexID{{1, 2}, long, {3}}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, corpus); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() <= 1<<20 {
+		t.Fatalf("test corpus too small to exceed the old cap: %d bytes", buf.Len())
+	}
+	got, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatalf("ReadCorpus on >1MiB line: %v", err)
+	}
+	if len(got) != 3 || len(got[1]) != len(long) {
+		t.Fatalf("round trip lost walks: %d walks, long walk %d tokens", len(got), len(got[1]))
+	}
+	for i := range long {
+		if got[1][i] != long[i] {
+			t.Fatalf("long walk token %d changed", i)
+		}
+	}
+}
+
 func TestReadCorpusRejectsGarbage(t *testing.T) {
 	if _, err := ReadCorpus(strings.NewReader("1 x 3\n")); err == nil {
 		t.Fatal("garbage token accepted")

@@ -1,0 +1,161 @@
+package walk
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"flashwalker/internal/graph"
+)
+
+// SCARA-style precomputed walk-corpus cache: random-walk training corpora
+// (DeepWalk "sentences") are expensive to generate and fully determined by
+// (dataset, spec, seed, start set), so identical jobs can be served from a
+// sealed cached copy instead of re-simulating. The cache stores the
+// serialized corpus text (the WriteCorpus format trainers consume) sealed
+// with a SHA-256 digest verified on every hit, so a corrupted entry can
+// never be silently served.
+
+// CorpusKey identifies one precomputed corpus. Every field that influences
+// the corpus content is part of the key; there is no other invalidation —
+// graphs registered under a name are immutable for a service's lifetime,
+// and any spec/seed/start-set change selects a different entry.
+type CorpusKey struct {
+	// Graph is the registry name of the dataset walked.
+	Graph string
+	// Spec is the full walk specification (kind, length, stop
+	// probability, p/q) the corpus was generated with.
+	Spec Spec
+	// Seed is the root RNG seed; per-walk streams derive from it.
+	Seed uint64
+	// WalksPerVertex pins the start set: corpora start WalksPerVertex
+	// walks from every vertex (AllStarts order).
+	WalksPerVertex int
+}
+
+// CachedCorpus is one sealed cache entry.
+type CachedCorpus struct {
+	Key CorpusKey
+	// Data is the corpus in WriteCorpus text form.
+	Data []byte
+	// SHA seals Data; Get re-hashes on every hit and refuses to serve a
+	// mismatch.
+	SHA [sha256.Size]byte
+	// Walks/Tokens/MeanHops are the CorpusStats of the corpus.
+	Walks    int
+	Tokens   int
+	MeanHops float64
+}
+
+// CorpusCache is a bounded, thread-safe corpus cache with LRU eviction.
+type CorpusCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[CorpusKey]*CachedCorpus
+	// order is the LRU list, least recent first.
+	order []CorpusKey
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCorpusCache returns a cache bounded to max entries (min 1).
+func NewCorpusCache(max int) *CorpusCache {
+	if max < 1 {
+		max = 1
+	}
+	return &CorpusCache{max: max, entries: map[CorpusKey]*CachedCorpus{}}
+}
+
+// Seal builds a sealed entry from a generated corpus.
+func Seal(key CorpusKey, corpus [][]graph.VertexID) (*CachedCorpus, error) {
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, corpus); err != nil {
+		return nil, fmt.Errorf("walk: sealing corpus: %w", err)
+	}
+	walks, tokens, mean := CorpusStats(corpus)
+	c := &CachedCorpus{
+		Key: key, Data: buf.Bytes(),
+		Walks: walks, Tokens: tokens, MeanHops: mean,
+	}
+	c.SHA = sha256.Sum256(c.Data)
+	return c, nil
+}
+
+// Put inserts an entry, evicting the least recently used when full.
+func (cc *CorpusCache) Put(c *CachedCorpus) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if _, ok := cc.entries[c.Key]; ok {
+		cc.touch(c.Key)
+		cc.entries[c.Key] = c
+		return
+	}
+	for len(cc.entries) >= cc.max {
+		oldest := cc.order[0]
+		cc.order = cc.order[1:]
+		delete(cc.entries, oldest)
+	}
+	cc.entries[c.Key] = c
+	cc.order = append(cc.order, c.Key)
+}
+
+// Get returns the sealed entry for key, verifying the seal first. A
+// corrupted entry is dropped and reported as a miss along with the error.
+func (cc *CorpusCache) Get(key CorpusKey) (*CachedCorpus, bool, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	c, ok := cc.entries[key]
+	if !ok {
+		cc.misses++
+		return nil, false, nil
+	}
+	if got := sha256.Sum256(c.Data); got != c.SHA {
+		// Seal broken: never serve it. Evict and treat as a miss so the
+		// caller regenerates.
+		cc.evict(key)
+		cc.misses++
+		return nil, false, fmt.Errorf("walk: corpus cache entry for %q failed seal verification", key.Graph)
+	}
+	cc.touch(key)
+	cc.hits++
+	return c, true, nil
+}
+
+// Stats returns the lifetime hit/miss counters.
+func (cc *CorpusCache) Stats() (hits, misses uint64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits, cc.misses
+}
+
+// Len returns the current entry count.
+func (cc *CorpusCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.entries)
+}
+
+// touch moves key to the most-recent end of the LRU order (key must be
+// present). Caller holds mu.
+func (cc *CorpusCache) touch(key CorpusKey) {
+	for i, k := range cc.order {
+		if k == key {
+			copy(cc.order[i:], cc.order[i+1:])
+			cc.order[len(cc.order)-1] = key
+			return
+		}
+	}
+}
+
+// evict removes key entirely. Caller holds mu.
+func (cc *CorpusCache) evict(key CorpusKey) {
+	delete(cc.entries, key)
+	for i, k := range cc.order {
+		if k == key {
+			cc.order = append(cc.order[:i], cc.order[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package walk
+
+import (
+	"bytes"
+	"testing"
+
+	"flashwalker/internal/graph"
+)
+
+func testCorpusEntry(t *testing.T, name string, seed uint64) *CachedCorpus {
+	t.Helper()
+	g := graph.Ring(16)
+	corpus, err := DeepWalkCorpus(g, 1, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CorpusKey{
+		Graph: name,
+		Spec:  Spec{Kind: Unbiased, Length: 4},
+		Seed:  seed, WalksPerVertex: 1,
+	}
+	c, err := Seal(key, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCorpusCacheHitMiss(t *testing.T) {
+	cc := NewCorpusCache(4)
+	c := testCorpusEntry(t, "ring", 1)
+
+	if _, ok, err := cc.Get(c.Key); ok || err != nil {
+		t.Fatalf("empty cache returned a hit (ok=%v err=%v)", ok, err)
+	}
+	cc.Put(c)
+	got, ok, err := cc.Get(c.Key)
+	if err != nil || !ok {
+		t.Fatalf("hit failed: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got.Data, c.Data) || got.SHA != c.SHA {
+		t.Fatal("hit returned different corpus bytes")
+	}
+	if h, m := cc.Stats(); h != 1 || m != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", h, m)
+	}
+
+	// A different seed is a different key — must miss.
+	other := testCorpusEntry(t, "ring", 2)
+	if _, ok, _ := cc.Get(other.Key); ok {
+		t.Fatal("different seed hit the cache")
+	}
+}
+
+func TestCorpusCacheSealedRoundTrip(t *testing.T) {
+	cc := NewCorpusCache(4)
+	c := testCorpusEntry(t, "ring", 3)
+	cc.Put(c)
+	got, ok, err := cc.Get(c.Key)
+	if !ok || err != nil {
+		t.Fatalf("hit failed: ok=%v err=%v", ok, err)
+	}
+	corpus, err := ReadCorpus(bytes.NewReader(got.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != got.Walks {
+		t.Fatalf("parsed %d walks, entry says %d", len(corpus), got.Walks)
+	}
+}
+
+func TestCorpusCacheRefusesBrokenSeal(t *testing.T) {
+	cc := NewCorpusCache(4)
+	c := testCorpusEntry(t, "ring", 4)
+	cc.Put(c)
+	c.Data[0] ^= 0xFF // corrupt in place, seal now stale
+	if _, ok, err := cc.Get(c.Key); ok || err == nil {
+		t.Fatalf("corrupted entry served: ok=%v err=%v", ok, err)
+	}
+	// The corrupt entry must have been evicted, not served again.
+	if cc.Len() != 0 {
+		t.Fatalf("corrupt entry still cached (len=%d)", cc.Len())
+	}
+}
+
+func TestCorpusCacheLRUEviction(t *testing.T) {
+	cc := NewCorpusCache(2)
+	a := testCorpusEntry(t, "a", 1)
+	b := testCorpusEntry(t, "b", 1)
+	c := testCorpusEntry(t, "c", 1)
+	cc.Put(a)
+	cc.Put(b)
+	if _, ok, _ := cc.Get(a.Key); !ok { // touch a → b is now LRU
+		t.Fatal("a missing")
+	}
+	cc.Put(c) // evicts b
+	if _, ok, _ := cc.Get(b.Key); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok, _ := cc.Get(a.Key); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if _, ok, _ := cc.Get(c.Key); !ok {
+		t.Fatal("new entry c missing")
+	}
+}
