@@ -5,7 +5,9 @@
 // Usage:
 //
 //	flashwalkerd [-addr :8080] [-workers 2] [-queue 16] [-state-dir DIR]
-//	             [-corpus-cache 16]
+//	             [-corpus-cache 16] [-tenant-max-queued 0]
+//	             [-tenant-max-running 0] [-tenant-rate 0] [-tenant-burst 1]
+//	             [-stream-ring 4096]
 //
 // With -state-dir, jobs are durable: specs are journaled at submission,
 // running engines checkpoint to snapshot files at their checkpoint_every
@@ -17,12 +19,15 @@
 // Endpoints (see internal/service):
 //
 //	POST /v1/jobs              {"graph":"TT-S","num_walks":1000,"seed":1}
+//	                           add "tenant":"name" for per-tenant quotas,
 //	                           add "fault_config":{"enabled":true,...} for
 //	                           deterministic fault injection (invalid
 //	                           configs are rejected with 400 at submission)
-//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs              list jobs (?status=, ?tenant=, limit/cursor)
 //	GET  /v1/jobs/{id}         job status with live progress
 //	POST /v1/jobs/{id}/cancel  cancel (running jobs keep a partial result)
+//	GET  /v1/jobs/{id}/stream  NDJSON of completed walks, live; resumable
+//	                           with ?from=seq
 //	GET  /v1/jobs/{id}/corpus  a finished "deepwalk" job's corpus text
 //	GET  /v1/graphs            registered graphs
 //	POST /v1/graphs            {"name":"my-graph","path":"g.bin"}
@@ -54,22 +59,38 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable job state directory (empty: in-memory only)")
 	corpusCache := flag.Int("corpus-cache", 0,
 		"precomputed walk-corpus cache entries for deepwalk jobs (0: default 16, negative: disabled)")
+	tenantMaxQueued := flag.Int("tenant-max-queued", 0,
+		"max queued jobs per tenant (0: unlimited)")
+	tenantMaxRunning := flag.Int("tenant-max-running", 0,
+		"max concurrently running jobs per tenant (0: unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0,
+		"per-tenant job submission rate limit in jobs/sec (0: unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 1,
+		"per-tenant submission burst allowance when -tenant-rate is set")
+	streamRing := flag.Int("stream-ring", 0,
+		"completed-walk stream ring capacity in records (0: default 4096)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *stateDir, *corpusCache); err != nil {
+	cfg := service.Config{
+		Workers: *workers, QueueDepth: *queue, StateDir: *stateDir,
+		CorpusCacheEntries: *corpusCache,
+		TenantMaxQueued:    *tenantMaxQueued,
+		TenantMaxRunning:   *tenantMaxRunning,
+		TenantRatePerSec:   *tenantRate,
+		TenantRateBurst:    *tenantBurst,
+		StreamRingWalks:    *streamRing,
+	}
+	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "flashwalkerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, stateDir string, corpusCache int) error {
+func run(addr string, cfg service.Config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	m, err := service.NewManager(service.NewRegistry(), service.Config{
-		Workers: workers, QueueDepth: queue, StateDir: stateDir,
-		CorpusCacheEntries: corpusCache,
-	})
+	m, err := service.NewManager(service.NewRegistry(), cfg)
 	if err != nil {
 		return err
 	}
@@ -83,7 +104,7 @@ func run(addr string, workers, queue int, stateDir string, corpusCache int) erro
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("flashwalkerd: listening on %s (%d workers, queue %d)\n", addr, workers, queue)
+		fmt.Printf("flashwalkerd: listening on %s (%d workers, queue %d)\n", addr, cfg.Workers, cfg.QueueDepth)
 		errc <- srv.ListenAndServe()
 	}()
 

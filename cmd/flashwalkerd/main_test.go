@@ -1,49 +1,50 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"flashwalker/client"
 )
 
-// daemon is one flashwalkerd process under test.
+// daemon is one flashwalkerd process under test, driven through the typed
+// API client.
 type daemon struct {
-	t    *testing.T
-	cmd  *exec.Cmd
-	base string
+	t   *testing.T
+	cmd *exec.Cmd
+	c   *client.Client
 }
 
-// startDaemon launches the built binary against stateDir and waits for
-// /healthz to answer.
-func startDaemon(t *testing.T, bin, stateDir string, port int) *daemon {
+// startDaemon launches the built binary against stateDir (plus any extra
+// flags) and waits for /healthz to answer.
+func startDaemon(t *testing.T, bin, stateDir string, port int, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
 		"-workers", "1",
 		"-state-dir", stateDir,
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("start flashwalkerd: %v", err)
 	}
-	d := &daemon{t: t, cmd: cmd, base: fmt.Sprintf("http://127.0.0.1:%d", port)}
+	d := &daemon{t: t, cmd: cmd, c: client.New(fmt.Sprintf("http://127.0.0.1:%d", port), nil)}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		resp, err := http.Get(d.base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return d
-			}
+		if err := d.c.Health(context.Background()); err == nil {
+			return d
 		}
 		if time.Now().After(deadline) {
 			d.kill()
@@ -59,71 +60,36 @@ func (d *daemon) kill() {
 	_, _ = d.cmd.Process.Wait()
 }
 
-// jobView is the subset of the job status JSON the test asserts on.
-type jobView struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Error  string `json:"error"`
-	Result *struct {
-		SimTimeNS int64  `json:"sim_time_ns"`
-		Completed int    `json:"completed"`
-		DeadEnded int    `json:"dead_ended"`
-		Hops      uint64 `json:"hops"`
-		Partial   bool   `json:"partial"`
-	} `json:"result"`
-}
-
-func (d *daemon) submit(spec map[string]any) jobView {
+func (d *daemon) submit(spec client.JobSpec) client.JobStatus {
 	d.t.Helper()
-	body, _ := json.Marshal(spec)
-	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	st, err := d.c.Submit(context.Background(), spec)
 	if err != nil {
 		d.t.Fatalf("submit: %v", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		d.t.Fatalf("submit status %d", resp.StatusCode)
-	}
-	var jv jobView
-	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
-		d.t.Fatalf("submit decode: %v", err)
-	}
-	return jv
+	return st
 }
 
-func (d *daemon) get(id string) jobView {
+func (d *daemon) get(id string) client.JobStatus {
 	d.t.Helper()
-	resp, err := http.Get(d.base + "/v1/jobs/" + id)
+	st, err := d.c.Get(context.Background(), id)
 	if err != nil {
 		d.t.Fatalf("get %s: %v", id, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		d.t.Fatalf("get %s status %d", id, resp.StatusCode)
-	}
-	var jv jobView
-	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
-		d.t.Fatalf("get %s decode: %v", id, err)
-	}
-	return jv
+	return st
 }
 
-func (d *daemon) waitDone(id string, timeout time.Duration) jobView {
+func (d *daemon) waitDone(id string, timeout time.Duration) client.JobStatus {
 	d.t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		jv := d.get(id)
-		switch jv.State {
-		case "done":
-			return jv
-		case "failed", "canceled":
-			d.t.Fatalf("job %s terminal state %q: %s", id, jv.State, jv.Error)
-		}
-		if time.Now().After(deadline) {
-			d.t.Fatalf("job %s still %q after %v", id, jv.State, timeout)
-		}
-		time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := d.c.Wait(ctx, id)
+	if err != nil {
+		d.t.Fatalf("wait %s (last state %q): %v", id, st.State, err)
 	}
+	if st.State != client.StateDone {
+		d.t.Fatalf("job %s terminal state %q: %s", id, st.State, st.Error)
+	}
+	return st
 }
 
 func freePort(t *testing.T) int {
@@ -136,22 +102,28 @@ func freePort(t *testing.T) int {
 	return l.Addr().(*net.TCPAddr).Port
 }
 
-// TestCrashRecovery is the end-to-end durability proof: a daemon with a
-// state directory is SIGKILLed while a job is mid-run with a snapshot on
-// disk; a fresh daemon on the same state directory must finish the job
-// with a result identical to an uninterrupted run of the same spec.
-func TestCrashRecovery(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds and runs the daemon binary")
-	}
+func buildDaemon(t *testing.T) string {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "flashwalkerd")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
+	return bin
+}
 
-	spec := map[string]any{
-		"graph": "TT-S", "num_walks": 20_000, "seed": 7, "checkpoint_every": 64,
+// TestCrashRecovery is the end-to-end durability proof: a daemon with a
+// state directory is SIGKILLed while a job is mid-run with a snapshot on
+// disk; a fresh daemon on the same state directory must finish the job
+// with a result identical to an uninterrupted run.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+
+	spec := client.JobSpec{
+		Graph: "TT-S", NumWalks: 20_000, Seed: 7, CheckpointEvery: 64,
 	}
 
 	// Reference: the same spec run to completion with no interruption.
@@ -180,7 +152,7 @@ func TestCrashRecovery(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if jv := d1.get(job.ID); jv.State == "done" {
+	if jv := d1.get(job.ID); jv.State == client.StateDone {
 		t.Fatal("job finished before the crash; nothing to recover")
 	}
 	d1.kill()
@@ -211,18 +183,14 @@ func TestCrashRecoveryMultiBoard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the daemon binary")
 	}
-	bin := filepath.Join(t.TempDir(), "flashwalkerd")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build: %v\n%s", err, out)
-	}
+	bin := buildDaemon(t)
 
 	// MB-S is the only registry dataset with enough partitions for an
 	// array (TT-S packs into a single shard); two boards split its nine
 	// partitions and exchange foreigner walks over the fabric.
-	spec := map[string]any{
-		"graph": "MB-S", "num_walks": 60_000, "seed": 7,
-		"boards": 2, "checkpoint_every": 64,
+	spec := client.JobSpec{
+		Graph: "MB-S", NumWalks: 60_000, Seed: 7,
+		Boards: 2, CheckpointEvery: 64,
 	}
 
 	refDir := t.TempDir()
@@ -249,7 +217,7 @@ func TestCrashRecoveryMultiBoard(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if jv := d1.get(job.ID); jv.State == "done" {
+	if jv := d1.get(job.ID); jv.State == client.StateDone {
 		t.Fatal("job finished before the crash; nothing to recover")
 	}
 	d1.kill()
@@ -265,5 +233,88 @@ func TestCrashRecoveryMultiBoard(t *testing.T) {
 	}
 	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
 		t.Errorf("snapshot survived job completion: %v", err)
+	}
+}
+
+// TestDaemonStreamAndTenantFlags proves the admission/stream flags reach
+// the service: a daemon booted with per-tenant quotas rejects the over-quota
+// submission with the tenant_quota envelope, and the walk stream delivers
+// every completed walk of a job gaplessly over real HTTP.
+func TestDaemonStreamAndTenantFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, t.TempDir(), freePort(t),
+		"-tenant-max-queued", "1", "-stream-ring", "128")
+	defer d.kill()
+	ctx := context.Background()
+
+	// Fill tenant "a"'s queue allowance behind a long-running job, then
+	// assert the next submission bounces with the machine-readable code.
+	long := client.JobSpec{
+		Graph: "TT-S", NumWalks: 200_000, Seed: 1, CheckpointEvery: 64, Tenant: "a",
+	}
+	hog := d.submit(long)
+	// Wait for the worker to claim the hog so it no longer counts against
+	// the queued quota; the next submission then sits queued alone.
+	deadline := time.Now().Add(30 * time.Second)
+	for d.get(hog.ID).State == client.StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("hog job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	queued := d.submit(long) // worker=1, so this one sits queued
+	_, err := d.c.Submit(ctx, long)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 || apiErr.Code != "tenant_quota" {
+		t.Fatalf("over-quota submit: want 429 tenant_quota, got %v", err)
+	}
+	metrics, err := d.c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, `flashwalker_admission_rejected_total{reason="tenant_quota"} 1`) {
+		t.Error("metrics missing the tenant_quota rejection count")
+	}
+
+	// Another tenant is not affected by tenant "a"'s quota; stream its
+	// walks live while the hogs still occupy the worker and the queue.
+	small := d.submit(client.JobSpec{
+		Graph: "TT-S", NumWalks: 400, Seed: 2, Tenant: "b",
+	})
+	if _, err := d.c.Cancel(ctx, hog.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.c.Cancel(ctx, queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.c.Stream(ctx, small.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var n uint64
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		if rec.Seq != n {
+			t.Fatalf("stream gap: record seq %d at position %d", rec.Seq, n)
+		}
+		n++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	end := st.End()
+	if end == nil || end.State != client.StateDone || end.NextSeq != n {
+		t.Fatalf("stream trailer %+v after %d records", end, n)
+	}
+	fin := d.waitDone(small.ID, time.Minute)
+	if fin.Result == nil || fin.Result.Completed+fin.Result.DeadEnded != int(n) {
+		t.Fatalf("streamed %d walks but result says %+v", n, fin.Result)
 	}
 }

@@ -1,62 +1,99 @@
-// Quickstart: build a small graph, run FlashWalker on it, and compare
-// against the GraphWalker baseline — the minimal end-to-end tour of the
-// library.
+// Quickstart: boot the walk service in-process, then drive it end to end
+// through the typed v1 API client — submit a FlashWalker job and the
+// GraphWalker baseline, tail the FlashWalker job's completed walks live
+// off the NDJSON stream, and compare the two simulated runtimes.
+//
+// The same client works against a separately running daemon: swap the
+// embedded server for client.New("http://127.0.0.1:8080", nil).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 
-	"flashwalker/internal/baseline"
-	"flashwalker/internal/core"
-	"flashwalker/internal/graph"
-	"flashwalker/internal/harness"
-	"flashwalker/internal/metrics"
-	"flashwalker/internal/walk"
+	"flashwalker/client"
+	"flashwalker/internal/service"
 )
 
 func main() {
-	// 1. Generate a skewed R-MAT graph (64 Ki edges).
-	g, err := graph.RMAT(graph.DefaultRMAT(8192, 65536, 7))
+	// 1. Embed the service: a manager with two workers on a loopback port.
+	//    (A production deployment runs `flashwalkerd` instead.)
+	m, err := service.NewManager(service.NewRegistry(), service.Config{Workers: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := graph.ComputeStats(g)
-	fmt.Printf("graph: %d vertices, %d edges, max out-degree %d, gini %.2f\n",
-		s.NumVertices, s.NumEdges, s.MaxOutDeg, s.GiniOut)
+	defer m.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewHandler(m)}
+	go srv.Serve(ln)
+	defer srv.Close()
 
-	// 2. Describe the workload: 5000 unbiased walks of length 6 (the
-	//    paper's fixed walk length).
+	ctx := context.Background()
+	c := client.New("http://"+ln.Addr().String(), nil)
+
+	// 2. Submit both engines against the paper's small Twitter sample.
+	//    The tenant tag is how a shared daemon attributes quota and
+	//    fair-share scheduling; it is optional on an idle private server.
 	const numWalks = 5000
-	d := harness.Dataset{Name: "quickstart", IDBytes: 4, SubgraphBytes: 4 << 10}
+	fw, err := c.Submit(ctx, client.JobSpec{
+		Graph: "TT-S", NumWalks: numWalks, Seed: 7, Tenant: "quickstart",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gw, err := c.Submit(ctx, client.JobSpec{
+		Kind: client.KindGraphWalker, Graph: "TT-S", NumWalks: numWalks,
+		Seed: 7, Tenant: "quickstart",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// 3. Run FlashWalker (all optimizations on).
-	rc := harness.FlashWalkerConfig(d, core.AllOptions(), numWalks, 1)
-	eng, err := core.NewEngine(g, rc)
+	// 3. Tail the FlashWalker job's completed walks while it runs. Each
+	//    NDJSON frame is one finished walk; the trailer frame carries the
+	//    job's terminal state and the offset a reconnect would resume from.
+	st, err := c.Stream(ctx, fw.ID, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fw, err := eng.Run()
-	if err != nil {
+	defer st.Close()
+	var walks, deadEnds, hops uint64
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		walks++
+		hops += uint64(rec.Hops)
+		if rec.DeadEnd {
+			deadEnds++
+		}
+	}
+	if err := st.Err(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nFlashWalker:  %v  (%d hops, %s flash read, %s over channel buses)\n",
-		fw.Time, fw.Hops, metrics.FormatBytes(fw.Flash.ReadBytes),
-		metrics.FormatBytes(fw.Flash.ChannelBytes))
+	fmt.Printf("streamed %d walks live (%d hops, %d dead ends), trailer state %q\n",
+		walks, hops, deadEnds, st.End().State)
 
-	// 4. Run the GraphWalker baseline with a scaled 8 GB memory budget.
-	gwCfg := harness.GraphWalkerConfig(d, harness.GWMem8GB, 1)
-	spec := walk.Spec{Kind: walk.Unbiased, Length: harness.WalkLength}
-	bl, err := baseline.New(g, gwCfg, spec, numWalks, 101)
+	// 4. Wait for both results and compare the simulated runtimes.
+	fwDone, err := c.Wait(ctx, fw.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gw, err := bl.Run()
+	gwDone, err := c.Wait(ctx, gw.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("GraphWalker:  %v  (%d hops, %s over PCIe)\n",
-		gw.Time, gw.Hops, metrics.FormatBytes(gw.Flash.HostBytes))
-
-	fmt.Printf("\nspeedup: %.2fx\n", float64(gw.Time)/float64(fw.Time))
+	fmt.Printf("\nFlashWalker:  %d ns sim time (%d hops)\n",
+		fwDone.Result.SimTimeNS, fwDone.Result.Hops)
+	fmt.Printf("GraphWalker:  %d ns sim time (%d hops)\n",
+		gwDone.Result.SimTimeNS, gwDone.Result.Hops)
+	fmt.Printf("\nspeedup: %.2fx\n",
+		float64(gwDone.Result.SimTimeNS)/float64(fwDone.Result.SimTimeNS))
 }

@@ -100,6 +100,13 @@ type Array struct {
 	onSnapshot func(*ArraySnapshot)
 	snapEvery  uint64
 	lastSnap   uint64
+
+	// Completed-walk export (export.go): one fleet-wide finish sequence so
+	// consumers see a single total order regardless of board count.
+	onWalks   func([]WalkDone)
+	emitEvery uint64
+	exportBuf []WalkDone
+	finSeq    uint64
 }
 
 // NewArray builds an N-board array over the graph and seeds the workload.
@@ -166,16 +173,22 @@ func newArray(g *graph.Graph, rc RunConfig) (*Array, error) {
 		onProgress: rc.OnProgress,
 		checkEvery: rc.CheckpointEvery,
 		snapEvery:  rc.SnapshotEvery,
+		onWalks:    rc.OnWalks,
+		emitEvery:  rc.EmitEvery,
 	}
 	if a.checkEvery == 0 {
 		a.checkEvery = DefaultCheckpointEvery
 	}
+	if a.emitEvery == 0 {
+		a.emitEvery = DefaultEmitEvery
+	}
 	// Board engines share the kernel and the partitioning but own their
 	// devices and accelerator tiers; per-board hooks stay unset (the array
-	// drives progress and snapshots fleet-wide).
+	// drives progress, snapshots, and the walk export fleet-wide).
 	brc := rc
 	brc.OnProgress = nil
 	brc.OnSnapshot = nil
+	brc.OnWalks = nil
 	for b := 0; b < nb; b++ {
 		e, err := newEngineOn(eng, g, brc, part)
 		if err != nil {
@@ -245,6 +258,9 @@ func (a *Array) RunContext(ctx context.Context) (*Result, error) {
 				a.onProgress(a.progress())
 			}
 			if a.onSnapshot != nil && a.eng.Processed()-a.lastSnap >= a.snapEvery {
+				// Flush exported walks first so a consumer persisting both
+				// never sees a snapshot ahead of its walk records.
+				a.flushWalks()
 				if snap, err := a.buildSnapshot(); err == nil {
 					a.lastSnap = a.eng.Processed()
 					a.onSnapshot(snap)
@@ -253,6 +269,10 @@ func (a *Array) RunContext(ctx context.Context) (*Result, error) {
 			return ctx.Err() == nil
 		})
 		defer a.eng.ClearCheckpoint()
+	}
+	if a.onWalks != nil {
+		a.eng.SetEmitter(a.emitEvery, a.flushWalks)
+		defer a.eng.ClearEmitter()
 	}
 	if !a.launched {
 		a.launched = true
@@ -272,6 +292,7 @@ func (a *Array) RunContext(ctx context.Context) (*Result, error) {
 	} else {
 		a.eng.Run()
 	}
+	a.flushWalks()
 	if a.failure != nil {
 		return nil, a.failure
 	}

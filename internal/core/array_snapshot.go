@@ -198,6 +198,7 @@ func ResumeArray(g *graph.Graph, snap *ArraySnapshot, opts ArrayResumeOptions) (
 		MaxSimTime: id.MaxSimTime, TrackVisits: id.TrackVisits,
 		Audit: id.Audit, UseAliasSampling: id.UseAliasSampling,
 		OnProgress: opts.OnProgress, CheckpointEvery: opts.CheckpointEvery,
+		OnWalks: opts.OnWalks, EmitEvery: opts.EmitEvery,
 	}
 	a, err := newArray(g, rc)
 	if err != nil {
@@ -208,6 +209,13 @@ func ResumeArray(g *graph.Graph, snap *ArraySnapshot, opts ArrayResumeOptions) (
 	if err := a.restore(snap); err != nil {
 		return nil, err
 	}
+	// The fleet-wide finish sequence continues from the restored boards'
+	// finished counts: the export flushed every record below that total
+	// before the snapshot was delivered.
+	a.finSeq = 0
+	for _, e := range a.boards {
+		a.finSeq += uint64(e.res.Completed + e.res.DeadEnded)
+	}
 	return a, nil
 }
 
@@ -217,6 +225,11 @@ type ArrayResumeOptions struct {
 	OnSnapshot      func(*ArraySnapshot)
 	SnapshotEvery   uint64
 	CheckpointEvery uint64
+	// OnWalks / EmitEvery re-attach the completed-walk export; the resumed
+	// fleet continues the finish-order numbering from the snapshot's
+	// restored per-board finished counts.
+	OnWalks   func([]WalkDone)
+	EmitEvery uint64
 }
 
 // ResumeArrayContext is ResumeArray followed by RunContext.

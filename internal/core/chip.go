@@ -375,7 +375,7 @@ func (c *chipAccel) finishUpdate(s *chipSlot, st wstate, terminal, deadEnd bool)
 			c.completedBytes = 0
 			e.res.CompletedFlushes++
 		}
-		e.finishWalk(!deadEnd)
+		e.finishWalk(&st, !deadEnd)
 		c.checkDrained(s)
 		return
 	}

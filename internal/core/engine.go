@@ -125,6 +125,16 @@ type RunConfig struct {
 	// boundaries, so the effective cadence is the next checkpoint after
 	// the interval elapses. 0 snapshots at every checkpoint.
 	SnapshotEvery uint64
+	// OnWalks, when non-nil, receives finished walks in retirement order
+	// (see export.go). Deliveries happen strictly between simulated events
+	// — at emitter boundaries, before every snapshot, and at run end — so
+	// attaching a consumer never perturbs the timeline. The record slice is
+	// reused between deliveries; the callback must copy what it keeps and
+	// must not call back into the engine.
+	OnWalks func([]WalkDone)
+	// EmitEvery is the event interval between OnWalks deliveries; 0 uses
+	// DefaultEmitEvery.
+	EmitEvery uint64
 }
 
 // DefaultCheckpointEvery is the default event interval between cooperative
@@ -244,6 +254,12 @@ type Engine struct {
 	onSnapshot func(*Snapshot)
 	snapEvery  uint64
 	lastSnap   uint64
+
+	// Completed-walk export (export.go); unused in array boards, which
+	// export through the shared Array instead.
+	onWalks   func([]WalkDone)
+	emitEvery uint64
+	exportBuf []WalkDone
 
 	// started flips when RunContext performs the one-time launch work
 	// (hot-subgraph preload, channel ticks, first partition). A resumed
@@ -380,10 +396,15 @@ func newEngineOn(eng *sim.Engine, g *graph.Graph, rc RunConfig, part *partition.
 		checkEvery: rc.CheckpointEvery,
 		onSnapshot: rc.OnSnapshot,
 		snapEvery:  rc.SnapshotEvery,
+		onWalks:    rc.OnWalks,
+		emitEvery:  rc.EmitEvery,
 		rootRNG:    rng.New(rc.Cfg.Seed),
 	}
 	if e.checkEvery == 0 {
 		e.checkEvery = DefaultCheckpointEvery
+	}
+	if e.emitEvery == 0 {
+		e.emitEvery = DefaultEmitEvery
 	}
 	if rc.Cfg.Faults.Enabled {
 		e.inj = fault.NewInjector(rc.Cfg.Faults, ssd.NumChips())
@@ -463,6 +484,9 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 				e.onProgress(e.progress())
 			}
 			if e.onSnapshot != nil && e.eng.Processed()-e.lastSnap >= e.snapEvery {
+				// Flush exported walks first so a consumer persisting both
+				// never sees a snapshot ahead of its walk records.
+				e.flushWalks()
 				// Snapshots are pure reads of engine state between events;
 				// a build error means setup closures are still draining, so
 				// just try again at a later checkpoint.
@@ -475,12 +499,17 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		})
 		defer e.eng.ClearCheckpoint()
 	}
+	if e.onWalks != nil {
+		e.eng.SetEmitter(e.emitEvery, e.flushWalks)
+		defer e.eng.ClearEmitter()
+	}
 	e.launch()
 	if e.maxSimTime > 0 {
 		e.eng.RunUntil(e.maxSimTime)
 	} else {
 		e.eng.Run()
 	}
+	e.flushWalks()
 	if e.failure != nil {
 		return nil, e.failure
 	}

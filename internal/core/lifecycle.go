@@ -49,8 +49,9 @@ func (e *Engine) homePartition(v graph.VertexID) int {
 	return e.part.PartitionOf(id)
 }
 
-// finishWalk retires a walk (completed or dead-ended).
-func (e *Engine) finishWalk(completed bool) {
+// finishWalk retires a walk (completed or dead-ended). st is the walk's
+// final state, read only for the completed-walk export (export.go).
+func (e *Engine) finishWalk(st *wstate, completed bool) {
 	if completed {
 		e.res.Completed++
 		e.emit(trace.WalkDone, 1, 0)
@@ -63,7 +64,12 @@ func (e *Engine) finishWalk(completed bool) {
 	}
 	e.remaining--
 	if e.arr != nil {
+		if e.arr.onWalks != nil {
+			e.arr.exportWalk(e, st, completed)
+		}
 		e.arr.walkFinished()
+	} else if e.onWalks != nil {
+		e.exportWalk(st, completed)
 	}
 	e.activeCur--
 	e.checkPartitionDone()

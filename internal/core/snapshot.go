@@ -474,6 +474,11 @@ type ResumeOptions struct {
 	SnapshotEvery uint64
 	// CheckpointEvery is RunConfig.CheckpointEvery; 0 uses the default.
 	CheckpointEvery uint64
+	// OnWalks / EmitEvery re-attach the completed-walk export (export.go).
+	// The snapshot carries the finished-walk counters, so the resumed run
+	// continues the finish-order sequence numbering without a gap.
+	OnWalks   func([]WalkDone)
+	EmitEvery uint64
 }
 
 // ResumeEngine rebuilds an engine from a snapshot over the same graph. The
@@ -495,6 +500,7 @@ func ResumeEngine(g *graph.Graph, snap *Snapshot, opts ResumeOptions) (*Engine, 
 		Audit: snap.Audit, UseAliasSampling: snap.UseAliasSampling,
 		OnProgress: opts.OnProgress, CheckpointEvery: opts.CheckpointEvery,
 		OnSnapshot: opts.OnSnapshot, SnapshotEvery: opts.SnapshotEvery,
+		OnWalks: opts.OnWalks, EmitEvery: opts.EmitEvery,
 	}
 	e, err := newEngine(g, rc)
 	if err != nil {

@@ -147,7 +147,7 @@ func (t *tierCommon) finishHotUpdate(st wstate, size int64, terminal, deadEnd bo
 	}
 	if terminal {
 		e.board.completed()
-		e.finishWalk(!deadEnd)
+		e.finishWalk(&st, !deadEnd)
 		return
 	}
 	t.self.Guide(st)

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"errors"
+	"time"
+)
+
+// Multi-tenant admission control. Every JobSpec carries a tenant (empty
+// means "default"); the manager enforces, at submission time:
+//
+//   - a token-bucket submission rate limit per tenant (Config.TenantRatePerSec
+//     / TenantRateBurst) — rejected with ErrRateLimited;
+//   - a per-tenant queued-job quota (Config.TenantMaxQueued) — rejected with
+//     ErrTenantQuota;
+//   - the global bounded queue (Config.QueueDepth) — rejected with
+//     ErrQueueFull;
+//
+// and, at dequeue time, fair-share scheduling: workers round-robin across
+// tenants with queued jobs instead of draining strict FIFO, so a flooding
+// tenant cannot starve the others, and Config.TenantMaxRunning caps how
+// many of one tenant's jobs run concurrently (a capped tenant's jobs are
+// skipped, not dropped — they run when a slot frees). Every rejection is
+// counted by reason in flashwalker_admission_rejected_total{reason}.
+
+var (
+	// ErrRateLimited reports a submission rejected by the tenant's
+	// token-bucket rate limit. Retry after a pause.
+	ErrRateLimited = errors.New("tenant submission rate limit exceeded")
+	// ErrTenantQuota reports a submission rejected because the tenant
+	// already has its full quota of queued jobs.
+	ErrTenantQuota = errors.New("tenant queued-job quota exceeded")
+)
+
+// DefaultTenant is the tenant jobs with an empty tenant field belong to.
+const DefaultTenant = "default"
+
+// maxTenantLen bounds the tenant label (it appears in IDs, metrics, and
+// file paths derived from specs; keep it short and printable).
+const maxTenantLen = 64
+
+// tenantOf resolves a spec's effective tenant.
+func tenantOf(spec *JobSpec) string {
+	if spec.Tenant == "" {
+		return DefaultTenant
+	}
+	return spec.Tenant
+}
+
+// fairQueue is the bounded multi-tenant job queue: one FIFO per tenant plus
+// a round-robin rotation over tenants that have jobs queued. All methods
+// require the manager's lock.
+type fairQueue struct {
+	depth int
+	n     int
+	q     map[string][]*Job
+	rr    []string // tenants with queued jobs, in rotation order
+	next  int      // rotation cursor into rr
+}
+
+func newFairQueue(depth int) *fairQueue {
+	return &fairQueue{depth: depth, q: map[string][]*Job{}}
+}
+
+// push appends j to its tenant's FIFO; false when the global queue is full.
+func (f *fairQueue) push(tenant string, j *Job) bool {
+	if f.n >= f.depth {
+		return false
+	}
+	if len(f.q[tenant]) == 0 {
+		f.rr = append(f.rr, tenant)
+	}
+	f.q[tenant] = append(f.q[tenant], j)
+	f.n++
+	return true
+}
+
+// pop removes and returns the next job in fair-share order: tenants are
+// visited round-robin from the rotation cursor, skipping tenants canRun
+// rejects (at their running cap). Nil when no eligible job is queued.
+func (f *fairQueue) pop(canRun func(tenant string) bool) *Job {
+	for i := 0; i < len(f.rr); i++ {
+		idx := (f.next + i) % len(f.rr)
+		t := f.rr[idx]
+		if canRun != nil && !canRun(t) {
+			continue
+		}
+		l := f.q[t]
+		j := l[0]
+		l[0] = nil // release the head for GC; the backing array is reused
+		if len(l) == 1 {
+			delete(f.q, t)
+			f.rr = append(f.rr[:idx], f.rr[idx+1:]...)
+			if f.next > idx {
+				f.next--
+			}
+			if len(f.rr) > 0 {
+				f.next %= len(f.rr)
+			} else {
+				f.next = 0
+			}
+		} else {
+			f.q[t] = l[1:]
+			f.next = (idx + 1) % len(f.rr)
+		}
+		f.n--
+		return j
+	}
+	return nil
+}
+
+// queued reports how many jobs tenant has waiting.
+func (f *fairQueue) queued(tenant string) int { return len(f.q[tenant]) }
+
+// len reports the total queued-job count.
+func (f *fairQueue) len() int { return f.n }
+
+// drain empties the queue, returning the remaining jobs in rotation order.
+func (f *fairQueue) drain() []*Job {
+	var out []*Job
+	for {
+		j := f.pop(nil)
+		if j == nil {
+			return out
+		}
+		out = append(out, j)
+	}
+}
+
+// tokenBucket is one tenant's submission budget: capacity burst, refilled
+// at rate tokens/second, one token per submission.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// allowSubmit consumes one token from tenant's bucket, reporting false when
+// the bucket is empty. Requires the manager's lock. A zero rate disables
+// rate limiting entirely.
+func (m *Manager) allowSubmit(tenant string, now time.Time) bool {
+	if m.tenantRate <= 0 {
+		return true
+	}
+	b := m.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: m.tenantBurst, last: now}
+		m.buckets[tenant] = b
+	} else {
+		b.tokens += m.tenantRate * now.Sub(b.last).Seconds()
+		if b.tokens > m.tenantBurst {
+			b.tokens = m.tenantBurst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// canRunLocked reports whether tenant may start another job under
+// TenantMaxRunning. Requires the manager's lock.
+func (m *Manager) canRunLocked(tenant string) bool {
+	return m.tenantMaxRunning <= 0 || m.runningBy[tenant] < m.tenantMaxRunning
+}

@@ -1,0 +1,365 @@
+// The client e2e suite lives in an external test package: the typed
+// client imports internal/service, so in-package tests would form an
+// import cycle. Everything here goes through real HTTP — this is also the
+// coverage proving every /v1 handler works through the client and speaks
+// the error envelope.
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flashwalker/client"
+	"flashwalker/internal/service"
+)
+
+func newClientServer(t *testing.T, cfg service.Config) (*client.Client, *service.Manager) {
+	t.Helper()
+	m, err := service.NewManager(service.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(service.NewHandler(m))
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL, nil), m
+}
+
+func wantCode(t *testing.T, err error, status int, code string) {
+	t.Helper()
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v (%T) is not an APIError", err, err)
+	}
+	if apiErr.Status != status || apiErr.Code != code {
+		t.Fatalf("got %d %q, want %d %q (message %q)", apiErr.Status, apiErr.Code, status, code, apiErr.Message)
+	}
+}
+
+// TestClientEndToEnd drives the full v1 surface through the typed client:
+// health, submit, wait, get, list, stream, corpus, graphs, metrics.
+func TestClientEndToEnd(t *testing.T) {
+	c, _ := newClientServer(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	st, err := c.Submit(ctx, client.JobSpec{Graph: "TT-S", NumWalks: 600, Seed: 1, Tenant: "e2e"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.State != client.StateQueued && st.State != client.StateRunning {
+		t.Fatalf("fresh job state %q", st.State)
+	}
+
+	// Stream the job live from 0 while it runs.
+	s, err := c.Stream(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer s.Close()
+	var next uint64
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		if rec.Seq != next {
+			t.Fatalf("stream gap: seq %d, want %d", rec.Seq, next)
+		}
+		next++
+	}
+	if s.Err() != nil {
+		t.Fatalf("stream error: %v", s.Err())
+	}
+	if s.End() == nil || !s.End().Done || s.End().State != client.StateDone {
+		t.Fatalf("stream trailer: %+v", s.End())
+	}
+
+	fin, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != client.StateDone || fin.Result == nil {
+		t.Fatalf("final status: %+v", fin)
+	}
+	if got := fin.Result.Completed + fin.Result.DeadEnded; uint64(got) != next {
+		t.Fatalf("streamed %d walks, result finished %d", next, got)
+	}
+
+	// DeepWalk: corpus endpoint plus stream with paths.
+	dw, err := c.Submit(ctx, client.JobSpec{Kind: client.KindDeepWalk, Graph: "TT-S", Seed: 2, WalkLength: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, dw.ID); err != nil {
+		t.Fatal(err)
+	}
+	data, sha, err := c.Corpus(ctx, dw.ID)
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	if len(data) == 0 || len(sha) != 64 {
+		t.Fatalf("corpus %d bytes, sha %q", len(data), sha)
+	}
+	ds, err := c.Stream(ctx, dw.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	rec, ok := ds.Next()
+	if !ok || len(rec.Path) == 0 {
+		t.Fatalf("deepwalk stream first record %+v ok=%v", rec, ok)
+	}
+
+	// Listing with tenant filter and pagination.
+	page, err := c.List(ctx, client.ListQuery{Tenant: "e2e", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != st.ID || page.NextCursor != "" {
+		t.Fatalf("tenant page: %+v", page)
+	}
+	all, err := c.ListAll(ctx, client.ListQuery{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("listed %d jobs, want 2", len(all))
+	}
+	done, err := c.ListAll(ctx, client.ListQuery{Status: client.StateDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("status filter returned %d jobs", len(done))
+	}
+
+	// Graph registry round trip.
+	graphs, err := c.Graphs(ctx)
+	if err != nil || len(graphs) == 0 {
+		t.Fatalf("graphs: %v (%d entries)", err, len(graphs))
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "flashwalker_jobs_submitted_total 2") {
+		t.Error("metrics missing submit counter")
+	}
+	if !strings.Contains(metrics, `flashwalker_admission_rejected_total{reason="queue_full"} 0`) {
+		t.Error("metrics missing labeled admission counter")
+	}
+}
+
+// TestClientErrorEnvelope checks that every error path surfaces the
+// envelope with its table code, through every client method.
+func TestClientErrorEnvelope(t *testing.T) {
+	c, m := newClientServer(t, service.Config{
+		Workers: 1, QueueDepth: 2, TenantMaxQueued: 1,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	_, err := c.Get(ctx, "job-999")
+	wantCode(t, err, http.StatusNotFound, "unknown_job")
+	_, err = c.Cancel(ctx, "job-999")
+	wantCode(t, err, http.StatusNotFound, "unknown_job")
+	_, err = c.Stream(ctx, "job-999", 0)
+	wantCode(t, err, http.StatusNotFound, "unknown_job")
+	_, _, err = c.Corpus(ctx, "job-999")
+	wantCode(t, err, http.StatusNotFound, "unknown_job")
+
+	_, err = c.Submit(ctx, client.JobSpec{Graph: "no-such-graph"})
+	wantCode(t, err, http.StatusNotFound, "unknown_graph")
+	_, err = c.Submit(ctx, client.JobSpec{Graph: "TT-S", Kind: "warp-drive"})
+	wantCode(t, err, http.StatusBadRequest, "invalid_config")
+	_, err = c.List(ctx, client.ListQuery{Status: "sideways"})
+	wantCode(t, err, http.StatusBadRequest, "bad_request")
+	_, err = c.LoadGraph(ctx, "broken", "/no/such/file.bin")
+	wantCode(t, err, http.StatusBadRequest, "bad_request")
+
+	// Tenant quota: one running, one queued, the next is a 429 with the
+	// quota code.
+	long := client.JobSpec{Graph: "TT-S", NumWalks: 200_000, CheckpointEvery: 64, Tenant: "q"}
+	first, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, first.ID, client.StateRunning)
+	second, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, long)
+	wantCode(t, err, http.StatusTooManyRequests, "tenant_quota")
+
+	// Queue full: another tenant fills the remaining global slot, then
+	// overflows with the distinct queue_full code.
+	other := long
+	other.Tenant = "r"
+	third, err := c.Submit(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, other)
+	wantCode(t, err, http.StatusTooManyRequests, "queue_full")
+
+	// Drain: canceled queued jobs free their slots once a worker pops
+	// them, so retry the next submission through the transient 429s.
+	for _, id := range []string{first.ID, second.ID, third.ID} {
+		if _, err := c.Cancel(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var gw client.JobStatus
+	for {
+		gw, err = c.Submit(ctx, client.JobSpec{Kind: client.KindGraphWalker, Graph: "TT-S", NumWalks: 100, Tenant: "gw"})
+		if err == nil {
+			break
+		}
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != "queue_full" {
+			t.Fatalf("graphwalker submit: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("queue never drained after cancellations")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// A graphwalker job has no stream: 409 stream_unsupported.
+	_, err = c.Stream(ctx, gw.ID, 0)
+	wantCode(t, err, http.StatusConflict, "stream_unsupported")
+
+	for _, j := range m.List() {
+		_, _ = c.Cancel(ctx, j.ID)
+	}
+}
+
+// TestClientStreamReconnect: a dropped stream resumes at NextSeq over a
+// fresh connection with no gaps and no duplicates, concurrent with the
+// running job. The manager is durable: the server-side cursor runs ahead
+// of what the client actually consumed (TCP buffering), so a resume
+// offset may point below the ring — the spool replays it.
+func TestClientStreamReconnect(t *testing.T) {
+	c, _ := newClientServer(t, service.Config{Workers: 1, StateDir: t.TempDir()})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	st, err := c.Submit(ctx, client.JobSpec{Graph: "TT-S", NumWalks: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First connection: take a handful of records, then drop the
+	// connection without reading the rest.
+	s1, err := c.Stream(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen uint64
+	for seen < 5 {
+		rec, ok := s1.Next()
+		if !ok {
+			t.Fatalf("stream ended after %d records: err=%v end=%+v", seen, s1.Err(), s1.End())
+		}
+		if rec.Seq != seen {
+			t.Fatalf("gap: seq %d, want %d", rec.Seq, seen)
+		}
+		seen++
+	}
+	s1.Close()
+
+	// Second connection resumes exactly where the first left off.
+	s2, err := c.Stream(ctx, st.ID, s1.NextSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for {
+		rec, ok := s2.Next()
+		if !ok {
+			break
+		}
+		if rec.Seq != seen {
+			t.Fatalf("gap after reconnect: seq %d, want %d", rec.Seq, seen)
+		}
+		seen++
+	}
+	if s2.Err() != nil || s2.End() == nil || s2.End().State != client.StateDone {
+		t.Fatalf("reconnect end: err=%v end=%+v", s2.Err(), s2.End())
+	}
+	fin, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := fin.Result.Completed + fin.Result.DeadEnded; uint64(total) != seen {
+		t.Fatalf("reconnected stream saw %d walks, result finished %d", seen, total)
+	}
+}
+
+// TestClientStreamCancel: canceling through the client ends an attached
+// stream with a canceled trailer instead of leaving it hanging.
+func TestClientStreamCancel(t *testing.T) {
+	c, _ := newClientServer(t, service.Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	st, err := c.Submit(ctx, client.JobSpec{Graph: "TT-S", NumWalks: 200_000, Seed: 4, CheckpointEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Stream(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok := s.Next(); !ok {
+		t.Fatalf("no records before cancel: err=%v end=%+v", s.Err(), s.End())
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if end := s.End(); end == nil || end.State != client.StateCanceled {
+		t.Fatalf("trailer after cancel: %+v", end)
+	}
+}
+
+func waitState(t *testing.T, c *client.Client, id, state string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == state {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("job %s never reached %s (now %s)", id, state, st.State)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -4,47 +4,149 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 
 	"flashwalker/internal/errs"
 )
 
-// NewHandler wires the HTTP/JSON API around a Manager:
+// v1 API errors that don't originate in the manager itself.
+var (
+	// ErrNoCorpus reports a corpus request against a job that has none
+	// (not a finished "deepwalk" job).
+	ErrNoCorpus = errors.New("job has no corpus")
+	// ErrBadRequest reports a malformed request (undecodable body, bad
+	// query parameter).
+	ErrBadRequest = errors.New("bad request")
+)
+
+// The v1 error contract: every handler answers failures with one JSON
+// envelope,
 //
-//	POST   /v1/jobs             submit a job (202, or 429 when the queue is full)
-//	GET    /v1/jobs             list all jobs
+//	{"error": {"code": "...", "message": "...", "job_id": "..."}}
+//
+// where code is a stable machine-readable identifier and job_id is set
+// when the failure concerns a specific job. errorTable is the single
+// mapping from the service error taxonomy to HTTP status and code; it is
+// ordered, and the first errors.Is match wins. Anything unmapped is a 500
+// "internal".
+var errorTable = []struct {
+	target error
+	status int
+	code   string
+}{
+	{ErrQueueFull, http.StatusTooManyRequests, "queue_full"},
+	{ErrRateLimited, http.StatusTooManyRequests, "rate_limited"},
+	{ErrTenantQuota, http.StatusTooManyRequests, "tenant_quota"},
+	{ErrUnknownJob, http.StatusNotFound, "unknown_job"},
+	{errs.ErrUnknownDataset, http.StatusNotFound, "unknown_graph"},
+	{ErrNoCorpus, http.StatusNotFound, "no_corpus"},
+	{ErrNoStream, http.StatusConflict, "stream_unsupported"},
+	{ErrStreamEvicted, http.StatusGone, "stream_evicted"},
+	{errs.ErrInvalidConfig, http.StatusBadRequest, "invalid_config"},
+	{ErrBadRequest, http.StatusBadRequest, "bad_request"},
+}
+
+// apiError is the body of the v1 error envelope.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	JobID   string `json:"job_id,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// httpError resolves err against the error table.
+func httpError(err error) (status int, code string) {
+	for _, e := range errorTable {
+		if errors.Is(err, e.target) {
+			return e.status, e.code
+		}
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeError emits the v1 error envelope for err; jobID may be empty.
+func writeError(w http.ResponseWriter, err error, jobID string) {
+	status, code := httpError(err)
+	writeJSON(w, status, errorEnvelope{Error: apiError{
+		Code: code, Message: err.Error(), JobID: jobID,
+	}})
+}
+
+// jobsPage is the GET /v1/jobs response.
+type jobsPage struct {
+	Jobs []JobStatus `json:"jobs"`
+	// NextCursor is non-empty exactly when more matching jobs exist; pass
+	// it back as ?cursor= to continue.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// NewHandler wires the HTTP/JSON v1 API around a Manager:
+//
+//	POST   /v1/jobs             submit a job (202; 429 on admission rejection)
+//	GET    /v1/jobs             page of jobs: ?status= ?tenant= ?limit= ?cursor=
 //	GET    /v1/jobs/{id}        one job's status, live progress included
 //	POST   /v1/jobs/{id}/cancel request cancellation (202)
+//	GET    /v1/jobs/{id}/stream NDJSON of completed walks, live; ?from=seq resumes
 //	GET    /v1/jobs/{id}/corpus a finished "deepwalk" job's corpus text
 //	GET    /v1/graphs           list registered graphs
 //	POST   /v1/graphs           load a graph file into the registry
 //	GET    /healthz             liveness probe
 //	GET    /metrics             Prometheus text metrics
+//
+// Every failure is the JSON error envelope; see errorTable for the
+// status/code contract.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, fmt.Errorf("service: decoding job spec: %v: %w", err, ErrBadRequest), "")
 			return
 		}
 		j, err := m.Submit(spec)
 		if err != nil {
-			writeError(w, submitStatus(err), err)
+			writeError(w, err, "")
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.Status())
 	})
 
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.List())
+		q := r.URL.Query()
+		f := ListFilter{
+			Status: q.Get("status"),
+			Tenant: q.Get("tenant"),
+			Cursor: q.Get("cursor"),
+		}
+		switch f.Status {
+		case "", StateQueued, StateRunning, StateDone, StateCanceled, StateFailed:
+		default:
+			writeError(w, fmt.Errorf("service: unknown status %q: %w", f.Status, ErrBadRequest), "")
+			return
+		}
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				writeError(w, fmt.Errorf("service: bad limit %q: %w", s, ErrBadRequest), "")
+				return
+			}
+			f.Limit = n
+		}
+		jobs, next := m.ListPage(f)
+		writeJSON(w, http.StatusOK, jobsPage{Jobs: jobs, NextCursor: next})
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		j, err := m.Get(r.PathValue("id"))
+		id := r.PathValue("id")
+		j, err := m.Get(id)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, err, id)
 			return
 		}
 		writeJSON(w, http.StatusOK, j.Status())
@@ -53,26 +155,81 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if err := m.Cancel(id); err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, err, id)
 			return
 		}
 		j, err := m.Get(id)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, err, id)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.Status())
 	})
 
-	mux.HandleFunc("GET /v1/jobs/{id}/corpus", func(w http.ResponseWriter, r *http.Request) {
-		j, err := m.Get(r.PathValue("id"))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, err := m.Get(id)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, err, id)
+			return
+		}
+		if j.stream == nil {
+			writeError(w, fmt.Errorf("service: %q job %s: %w", j.Spec.Kind, id, ErrNoStream), id)
+			return
+		}
+		var from uint64
+		if s := r.URL.Query().Get("from"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				writeError(w, fmt.Errorf("service: bad from offset %q: %w", s, ErrBadRequest), id)
+				return
+			}
+			from = v
+		}
+		rd, err := j.stream.attach(from)
+		if err != nil {
+			writeError(w, err, id)
+			return
+		}
+		defer rd.detach()
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for {
+			batch, end, err := rd.next(r.Context())
+			if err != nil {
+				return // client went away
+			}
+			if end != nil {
+				_ = enc.Encode(end)
+				if fl != nil {
+					fl.Flush()
+				}
+				return
+			}
+			for i := range batch {
+				if enc.Encode(&batch[i]) != nil {
+					return
+				}
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/corpus", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, err := m.Get(id)
+		if err != nil {
+			writeError(w, err, id)
 			return
 		}
 		c := j.Corpus()
 		if c == nil {
-			writeError(w, http.StatusNotFound, errors.New("service: job has no corpus (not a finished deepwalk job)"))
+			writeError(w, fmt.Errorf("service: %w (not a finished deepwalk job)", ErrNoCorpus), id)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -90,12 +247,17 @@ func NewHandler(m *Manager) http.Handler {
 			Path string `json:"path"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, fmt.Errorf("service: decoding graph request: %v: %w", err, ErrBadRequest), "")
 			return
 		}
 		gi, err := m.Registry().Load(req.Name, req.Path)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			if _, code := httpError(err); code == "internal" {
+				// Load failures (unreadable path, parse error) are the
+				// caller's fault, not the service's.
+				err = fmt.Errorf("service: loading graph: %v: %w", err, ErrBadRequest)
+			}
+			writeError(w, err, "")
 			return
 		}
 		writeJSON(w, http.StatusCreated, gi)
@@ -113,26 +275,8 @@ func NewHandler(m *Manager) http.Handler {
 	return mux
 }
 
-// submitStatus maps a Submit error onto its HTTP status via the error
-// taxonomy: full queue is backpressure (429), unknown graph is 404, and
-// everything else a bad request.
-func submitStatus(err error) int {
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, errs.ErrUnknownDataset):
-		return http.StatusNotFound
-	default:
-		return http.StatusBadRequest
-	}
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

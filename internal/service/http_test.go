@@ -141,10 +141,13 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Errorf("job C error %q does not mention cancellation", stC.Error)
 	}
 
-	var jobs []JobStatus
-	getJSON(t, srv.URL+"/v1/jobs", &jobs)
-	if len(jobs) != 3 {
-		t.Errorf("listed %d jobs, want 3", len(jobs))
+	var page jobsPage
+	getJSON(t, srv.URL+"/v1/jobs", &page)
+	if len(page.Jobs) != 3 {
+		t.Errorf("listed %d jobs, want 3", len(page.Jobs))
+	}
+	if page.NextCursor != "" {
+		t.Errorf("full listing returned next_cursor %q", page.NextCursor)
 	}
 
 	mresp, err := http.Get(srv.URL + "/metrics")

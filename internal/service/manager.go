@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -74,6 +75,9 @@ const (
 type JobSpec struct {
 	// Kind selects the engine: "flashwalker" (default) or "graphwalker".
 	Kind string `json:"kind"`
+	// Tenant names the submitting tenant for admission control (quotas,
+	// rate limits, fair-share scheduling). Empty means "default".
+	Tenant string `json:"tenant,omitempty"`
 	// Graph names a registry entry (dataset or loaded file).
 	Graph string `json:"graph"`
 	// NumWalks is the walk count; 0 uses the graph's default.
@@ -118,6 +122,9 @@ func (s *JobSpec) validate() error {
 	}
 	if s.Kind != KindFlashWalker && s.Kind != KindGraphWalker && s.Kind != KindDeepWalk {
 		return fmt.Errorf("service: unknown job kind %q: %w", s.Kind, errs.ErrInvalidConfig)
+	}
+	if len(s.Tenant) > maxTenantLen {
+		return fmt.Errorf("service: tenant longer than %d bytes: %w", maxTenantLen, errs.ErrInvalidConfig)
 	}
 	if s.NumWalks < 0 {
 		return fmt.Errorf("service: num_walks must be non-negative: %w", errs.ErrInvalidConfig)
@@ -169,6 +176,9 @@ func (s *JobSpec) validate() error {
 func (s *JobSpec) normalize(reg *Registry) error {
 	if err := s.validate(); err != nil {
 		return err
+	}
+	if s.Tenant == "" {
+		s.Tenant = DefaultTenant
 	}
 	if s.MemBytes == 0 {
 		s.MemBytes = harness.GWMem8GB
@@ -248,6 +258,10 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// stream is the completed-walk stream (nil for kinds that don't
+	// produce one). Set before the job is visible; immutable afterwards.
+	stream *jobStream
+
 	progress atomic.Pointer[Progress]
 
 	mu       sync.Mutex
@@ -256,6 +270,11 @@ type Job struct {
 	result   *JobResult
 	started  time.Time
 	finished time.Time
+	// finishing guards finish() against concurrent callers (worker
+	// completion vs. queued-job cancel vs. Close drain) during the window
+	// where on-disk state is settled but the terminal state is not yet
+	// visible.
+	finishing bool
 	// corpus is the sealed DeepWalk corpus this job produced or was served
 	// (kind "deepwalk" only), exposed via /v1/jobs/{id}/corpus.
 	corpus *walk.CachedCorpus
@@ -333,6 +352,22 @@ type Config struct {
 	// repeat "deepwalk" jobs. 0 uses the default (16); negative disables
 	// caching entirely.
 	CorpusCacheEntries int
+	// TenantMaxQueued caps how many jobs one tenant may have queued;
+	// submissions beyond it are rejected with ErrTenantQuota. 0 disables
+	// the quota.
+	TenantMaxQueued int
+	// TenantMaxRunning caps how many of one tenant's jobs run
+	// concurrently; capped tenants' queued jobs wait (they are skipped by
+	// the fair-share dequeue, not dropped). 0 disables the cap.
+	TenantMaxRunning int
+	// TenantRatePerSec is the per-tenant submission token-bucket refill
+	// rate; TenantRateBurst is its capacity (0 means 1 when a rate is
+	// set). A zero rate disables rate limiting.
+	TenantRatePerSec float64
+	TenantRateBurst  int
+	// StreamRingWalks bounds each job's in-memory completed-walk ring for
+	// /v1/jobs/{id}/stream. 0 uses the default (4096).
+	StreamRingWalks int
 }
 
 // defaultCorpusCacheEntries is the corpus-cache capacity when the config
@@ -342,16 +377,29 @@ const defaultCorpusCacheEntries = 16
 // Manager owns the job queue and worker pool.
 type Manager struct {
 	reg      *Registry
-	queue    chan *Job
 	baseCtx  context.Context
 	stop     context.CancelFunc
 	wg       sync.WaitGroup
 	stateDir string
 
+	// Admission settings (immutable after NewManager).
+	tenantMaxQueued  int
+	tenantMaxRunning int
+	tenantRate       float64
+	tenantBurst      float64
+	streamRing       int
+
 	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string
-	seq   uint64
+	cond  *sync.Cond // signals workers when fq or runningBy changes
+	fq    *fairQueue
+	// runningBy counts each tenant's currently running jobs (for
+	// TenantMaxRunning); buckets hold each tenant's submission tokens.
+	runningBy map[string]int
+	buckets   map[string]*tokenBucket
+	closed    bool
+	jobs      map[string]*Job
+	order     []string
+	seq       uint64
 
 	// corpora is the precomputed walk-corpus cache (nil when disabled).
 	corpora *walk.CorpusCache
@@ -372,6 +420,9 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
+	if cfg.TenantRateBurst <= 0 {
+		cfg.TenantRateBurst = 1
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		reg:      reg,
@@ -379,7 +430,16 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 		stop:     stop,
 		jobs:     map[string]*Job{},
 		stateDir: cfg.StateDir,
+
+		tenantMaxQueued:  cfg.TenantMaxQueued,
+		tenantMaxRunning: cfg.TenantMaxRunning,
+		tenantRate:       cfg.TenantRatePerSec,
+		tenantBurst:      float64(cfg.TenantRateBurst),
+		streamRing:       cfg.StreamRingWalks,
+		runningBy:        map[string]int{},
+		buckets:          map[string]*tokenBucket{},
 	}
+	m.cond = sync.NewCond(&m.mu)
 	if cfg.CorpusCacheEntries >= 0 {
 		n := cfg.CorpusCacheEntries
 		if n == 0 {
@@ -389,7 +449,7 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 	}
 	var pending []*Job
 	if m.stateDir != "" {
-		for _, sub := range []string{"jobs", "snapshots"} {
+		for _, sub := range []string{"jobs", "snapshots", "streams"} {
 			if err := os.MkdirAll(filepath.Join(m.stateDir, sub), 0o755); err != nil {
 				stop()
 				return nil, fmt.Errorf("service: state dir: %w", err)
@@ -407,15 +467,54 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 	if len(pending) > depth {
 		depth = len(pending)
 	}
-	m.queue = make(chan *Job, depth)
+	m.fq = newFairQueue(depth)
 	for _, j := range pending {
-		m.queue <- j
+		m.fq.push(tenantOf(&j.Spec), j)
+	}
+	// Recovered jobs get their streams back before any worker can run
+	// them: the spool's contiguous record count is where publishing
+	// resumes, and a terminal job's stream replays entirely from disk.
+	for _, j := range m.jobs {
+		m.newStreamFor(j)
+		if j.stream != nil {
+			j.mu.Lock()
+			state, errMsg := j.state, ""
+			if j.err != nil {
+				errMsg = j.err.Error()
+			}
+			j.mu.Unlock()
+			switch state {
+			case StateDone, StateCanceled, StateFailed:
+				j.stream.finish(state, errMsg)
+			}
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m, nil
+}
+
+// streamable reports whether a job kind produces a completed-walk stream.
+func streamable(kind string) bool {
+	return kind == KindFlashWalker || kind == KindDeepWalk
+}
+
+// newStreamFor attaches j's walk stream, spooled to disk when the manager
+// is durable. A spool that fails to open degrades the stream to in-memory
+// only — streaming must never block a job from running.
+func (m *Manager) newStreamFor(j *Job) {
+	if !streamable(j.Spec.Kind) || j.stream != nil {
+		return
+	}
+	var sp *spoolFile
+	if m.stateDir != "" {
+		if s, err := openSpool(m.streamPath(j.ID)); err == nil {
+			sp = s
+		}
+	}
+	j.stream = newJobStream(m.streamRing, sp)
 }
 
 // Close stops the workers, then drains the queue: every job still queued
@@ -427,16 +526,18 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 // crash) come back.
 func (m *Manager) Close() {
 	m.stop()
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
 	m.wg.Wait()
-	for {
-		select {
-		case j := <-m.queue:
-			m.finish(j, nil, &errs.Canceled{
-				Op: "service", Finished: 0, Total: j.Spec.NumWalks, Cause: m.baseCtx.Err(),
-			})
-		default:
-			return
-		}
+	m.mu.Lock()
+	left := m.fq.drain()
+	m.mu.Unlock()
+	for _, j := range left {
+		m.finish(j, nil, &errs.Canceled{
+			Op: "service", Finished: 0, Total: j.Spec.NumWalks, Cause: m.baseCtx.Err(),
+		})
 	}
 }
 
@@ -449,14 +550,23 @@ func (m *Manager) Registry() *Registry { return m.reg }
 // corpus-cache tests pin.
 func (m *Manager) CorpusEngineRuns() int64 { return m.metrics.corpusEngineRuns.Load() }
 
-// Submit validates spec, assigns an ID, and enqueues the job. A full
-// queue rejects immediately with ErrQueueFull (backpressure) rather than
-// blocking the caller.
+// Submit validates spec and runs it through admission control: the
+// tenant's submission rate limit (ErrRateLimited), the tenant's
+// queued-job quota (ErrTenantQuota), then the bounded global queue
+// (ErrQueueFull). Every rejection is immediate — backpressure, never
+// blocking — and counted by reason in
+// flashwalker_admission_rejected_total.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.normalize(m.reg); err != nil {
 		m.metrics.rejected.Add(1)
+		if errors.Is(err, errs.ErrUnknownDataset) {
+			m.metrics.rejUnknownGraph.Add(1)
+		} else {
+			m.metrics.rejInvalid.Add(1)
+		}
 		return nil, err
 	}
+	tenant := tenantOf(&spec)
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
 		Spec:      spec,
@@ -467,20 +577,36 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		state:     StateQueued,
 	}
 
-	m.mu.Lock()
-	m.seq++
-	j.ID = fmt.Sprintf("job-%d", m.seq)
-	select {
-	case m.queue <- j:
-	default:
-		m.seq--
+	reject := func(reason *atomic.Int64, err error) (*Job, error) {
 		m.mu.Unlock()
 		cancel()
 		m.metrics.rejected.Add(1)
-		return nil, fmt.Errorf("service: %w (depth %d)", ErrQueueFull, cap(m.queue))
+		reason.Add(1)
+		return nil, err
 	}
+	m.mu.Lock()
+	if m.closed || m.fq.len() >= m.fq.depth {
+		return reject(&m.metrics.rejQueueFull,
+			fmt.Errorf("service: %w (depth %d)", ErrQueueFull, m.fq.depth))
+	}
+	if !m.allowSubmit(tenant, time.Now()) {
+		return reject(&m.metrics.rejRateLimited,
+			fmt.Errorf("service: tenant %q: %w", tenant, ErrRateLimited))
+	}
+	if m.tenantMaxQueued > 0 && m.fq.queued(tenant) >= m.tenantMaxQueued {
+		return reject(&m.metrics.rejTenantQuota,
+			fmt.Errorf("service: tenant %q already has %d jobs queued: %w",
+				tenant, m.tenantMaxQueued, ErrTenantQuota))
+	}
+	m.seq++
+	j.ID = fmt.Sprintf("job-%d", m.seq)
+	// The stream must exist before a worker can claim the job; the push
+	// is what makes it claimable (capacity was checked above).
+	m.newStreamFor(j)
+	m.fq.push(tenant, j)
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
+	m.cond.Signal()
 	m.mu.Unlock()
 
 	m.journal(j)
@@ -513,6 +639,68 @@ func (m *Manager) List() []JobStatus {
 	return out
 }
 
+// ListFilter selects and pages the job listing.
+type ListFilter struct {
+	// Status and Tenant, when non-empty, keep only matching jobs.
+	Status string
+	Tenant string
+	// Cursor is the ID of the last job on the previous page (the
+	// next_cursor a previous call returned); empty starts from the oldest
+	// job.
+	Cursor string
+	// Limit caps the page size; 0 means 100, the hard maximum is 1000.
+	Limit int
+}
+
+// ListPage returns one page of job statuses in stable submission order
+// (oldest first). next is non-empty exactly when at least one further
+// matching job exists past the page; pass it back as the cursor to
+// continue.
+func (m *Manager) ListPage(f ListFilter) (page []JobStatus, next string) {
+	const defaultPageLimit, maxPageLimit = 100, 1000
+	limit := f.Limit
+	if limit <= 0 {
+		limit = defaultPageLimit
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	start := 0
+	if f.Cursor != "" {
+		// Position strictly after the cursor. IDs are "job-N" with N
+		// increasing in submission order, so the comparison tolerates a
+		// cursor that no longer names a live job.
+		cs, _ := jobSeq(f.Cursor)
+		for i, id := range ids {
+			if s, ok := jobSeq(id); ok && s <= cs {
+				start = i + 1
+			}
+		}
+	}
+	page = []JobStatus{}
+	for _, id := range ids[start:] {
+		j, err := m.Get(id)
+		if err != nil {
+			continue
+		}
+		st := j.Status()
+		if f.Status != "" && st.State != f.Status {
+			continue
+		}
+		if f.Tenant != "" && tenantOf(&st.Spec) != f.Tenant {
+			continue
+		}
+		if len(page) == limit {
+			return page, page[len(page)-1].ID
+		}
+		page = append(page, st)
+	}
+	return page, ""
+}
+
 // Cancel requests cancellation. A still-queued job moves straight to the
 // canceled state — its Done channel closes immediately, without waiting
 // for a worker to pull it off the queue. Running jobs halt at the
@@ -541,12 +729,37 @@ func (m *Manager) Cancel(id string) error {
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
-		select {
-		case <-m.baseCtx.Done():
+		j := m.dequeue()
+		if j == nil {
 			return
-		case j := <-m.queue:
-			m.run(j)
 		}
+		m.run(j)
+		m.mu.Lock()
+		t := tenantOf(&j.Spec)
+		if m.runningBy[t]--; m.runningBy[t] <= 0 {
+			delete(m.runningBy, t)
+		}
+		// The freed slot may make a capped tenant's jobs eligible again.
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// dequeue blocks until a job is eligible (fair-share order, running caps
+// respected) or the manager closes (nil). Claiming counts against the
+// tenant's running cap.
+func (m *Manager) dequeue() *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return nil
+		}
+		if j := m.fq.pop(m.canRunLocked); j != nil {
+			m.runningBy[tenantOf(&j.Spec)]++
+			return j
+		}
+		m.cond.Wait()
 	}
 }
 
@@ -560,7 +773,9 @@ func (m *Manager) run(j *Job) {
 		return
 	}
 	j.mu.Lock()
-	if j.state != StateQueued { // lost the race with a queued-job Cancel
+	// Lost the race with a queued-job Cancel: either the terminal state
+	// already landed, or its finish() is mid-settlement (finishing set).
+	if j.state != StateQueued || j.finishing {
 		j.mu.Unlock()
 		return
 	}
@@ -603,6 +818,7 @@ func (m *Manager) runDeepWalk(ctx context.Context, j *Job, g *graph.Graph) (*Job
 	}
 	if m.corpora != nil {
 		if c, ok, _ := m.corpora.Get(key); ok {
+			m.streamCorpus(j, c)
 			return m.deepWalkResult(j, c, true), nil
 		}
 	}
@@ -611,12 +827,24 @@ func (m *Manager) runDeepWalk(ctx context.Context, j *Job, g *graph.Graph) (*Job
 	starts := walk.AllStarts(g)
 	ws := walk.NewWalks(key.Spec, starts, len(starts)*j.Spec.WalksPerVertex)
 	corpus := make([][]graph.VertexID, 0, len(ws))
+	var batch []WalkRecord
 	_, err := walk.RunContext(ctx, g, key.Spec, ws, j.Spec.Seed,
 		func(i int, path []graph.VertexID) {
-			corpus = append(corpus, append([]graph.VertexID(nil), path...))
+			cp := append([]graph.VertexID(nil), path...)
+			corpus = append(corpus, cp)
+			if j.stream != nil {
+				batch = append(batch, corpusWalkRecord(uint64(i), cp, key.Spec.Length))
+				if len(batch) >= 128 {
+					j.stream.publish(batch)
+					batch = batch[:0]
+				}
+			}
 		})
 	if err != nil {
 		return nil, err
+	}
+	if j.stream != nil && len(batch) > 0 {
+		j.stream.publish(batch)
 	}
 	c, err := walk.Seal(key, corpus)
 	if err != nil {
@@ -626,6 +854,47 @@ func (m *Manager) runDeepWalk(ctx context.Context, j *Job, g *graph.Graph) (*Job
 		m.corpora.Put(c)
 	}
 	return m.deepWalkResult(j, c, false), nil
+}
+
+// corpusWalkRecord shapes one DeepWalk path as a wire record (paths are
+// included; the simulated-time field stays zero — corpus generation runs
+// on the host, not the simulator).
+func corpusWalkRecord(seq uint64, path []graph.VertexID, length uint32) WalkRecord {
+	hops := uint32(len(path) - 1)
+	return WalkRecord{
+		Seq: seq, Src: path[0], End: path[len(path)-1],
+		Hops: hops, DeadEnd: hops < length, Path: path,
+	}
+}
+
+// streamCorpus replays a cache-served corpus into j's stream so a cache
+// hit and an engine run produce the same record sequence.
+func (m *Manager) streamCorpus(j *Job, c *walk.CachedCorpus) {
+	if j.stream == nil {
+		return
+	}
+	paths, err := walk.ReadCorpus(bytes.NewReader(c.Data))
+	if err != nil {
+		return
+	}
+	recs := make([]WalkRecord, len(paths))
+	for i, p := range paths {
+		recs[i] = corpusWalkRecord(uint64(i), p, j.Spec.WalkLength)
+	}
+	j.stream.publish(recs)
+}
+
+// coreWalkRecords converts an engine export batch to wire records (the
+// engine reuses the batch slice, so the values are copied out).
+func coreWalkRecords(recs []core.WalkDone) []WalkRecord {
+	out := make([]WalkRecord, len(recs))
+	for i, r := range recs {
+		out[i] = WalkRecord{
+			Seq: r.Seq, Src: r.Src, End: r.End, Hops: r.Hops,
+			DeadEnd: r.DeadEnd, SimTimeNS: int64(r.At),
+		}
+	}
+	return out
 }
 
 // deepWalkResult attaches the sealed corpus to the job and shapes the API
@@ -666,6 +935,12 @@ func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 			Hops: p.Hops, WalksFinished: p.WalksFinished(),
 		})
 	}
+	if st := j.stream; st != nil {
+		// The export callback only appends to the stream's buffers — it
+		// never blocks on consumers, so attaching it cannot perturb the
+		// simulated timeline.
+		rc.OnWalks = func(recs []core.WalkDone) { st.publish(coreWalkRecords(recs)) }
+	}
 	if j.Spec.Boards > 1 {
 		return m.runFlashWalkerArray(ctx, j, g, rc)
 	}
@@ -694,7 +969,7 @@ func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 		var snap core.Snapshot
 		if snapshot.ReadFile(snapPath, snapKindCore, &snap) == nil {
 			r, err := core.ResumeContext(ctx, g, &snap, core.ResumeOptions{
-				OnProgress: rc.OnProgress, OnSnapshot: onSnap,
+				OnProgress: rc.OnProgress, OnSnapshot: onSnap, OnWalks: rc.OnWalks,
 				SnapshotEvery: every * snapshotCheckpointRatio, CheckpointEvery: j.Spec.CheckpointEvery,
 			})
 			return coreJobResult(r, err)
@@ -732,7 +1007,7 @@ func (m *Manager) runFlashWalkerArray(ctx context.Context, j *Job, g *graph.Grap
 		var snap core.ArraySnapshot
 		if snapshot.ReadFile(snapPath, snapKindArray, &snap) == nil {
 			r, err := core.ResumeArrayContext(ctx, g, &snap, core.ArrayResumeOptions{
-				OnProgress: rc.OnProgress, OnSnapshot: onSnap,
+				OnProgress: rc.OnProgress, OnSnapshot: onSnap, OnWalks: rc.OnWalks,
 				SnapshotEvery: every * snapshotCheckpointRatio, CheckpointEvery: j.Spec.CheckpointEvery,
 			})
 			return coreJobResult(r, err)
@@ -830,22 +1105,43 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 		j.mu.Unlock()
 		return
 	}
+	if j.finishing {
+		j.mu.Unlock()
+		return
+	}
+	j.finishing = true
+	j.mu.Unlock()
+
+	var state string
+	switch {
+	case err == nil:
+		state = StateDone
+	case errors.Is(err, errs.ErrCanceled):
+		state = StateCanceled
+	default:
+		state = StateFailed
+	}
+	// Settle everything observable on disk — stream trailer, snapshot
+	// removal — before the terminal state becomes visible, so a poller
+	// (or a waiter that wakes on Done) that sees a terminal job never
+	// finds leftover in-flight state.
+	if j.stream != nil {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		j.stream.finish(state, msg)
+	}
+	m.dropSnapshot(j.ID)
+
+	j.mu.Lock()
 	j.result = res
 	j.err = err
 	j.finished = time.Now()
-	switch {
-	case err == nil:
-		j.state = StateDone
-	case errors.Is(err, errs.ErrCanceled):
-		j.state = StateCanceled
-	default:
-		j.state = StateFailed
-	}
-	state := j.state
+	j.state = state
 	j.mu.Unlock()
-	close(j.done)
 	m.journal(j)
-	m.dropSnapshot(j.ID)
+	close(j.done)
 
 	switch state {
 	case StateDone:

@@ -19,6 +19,13 @@ type managerMetrics struct {
 	walksFinished atomic.Int64
 	hops          atomic.Int64
 
+	// Admission rejections by reason (each also bumps rejected).
+	rejInvalid      atomic.Int64
+	rejUnknownGraph atomic.Int64
+	rejQueueFull    atomic.Int64
+	rejRateLimited  atomic.Int64
+	rejTenantQuota  atomic.Int64
+
 	// Mapping-table query-cache aggregates across FlashWalker jobs.
 	queryCacheHits   atomic.Int64
 	queryCacheMisses atomic.Int64
@@ -48,7 +55,21 @@ func (m *Manager) Metrics() string {
 	counter("flashwalker_jobs_completed_total", "Jobs that ran to completion.", m.metrics.completed.Load())
 	counter("flashwalker_jobs_canceled_total", "Jobs canceled before completion.", m.metrics.canceled.Load())
 	counter("flashwalker_jobs_failed_total", "Jobs that ended in an error.", m.metrics.failed.Load())
-	counter("flashwalker_jobs_rejected_total", "Submissions rejected (validation or full queue).", m.metrics.rejected.Load())
+	counter("flashwalker_jobs_rejected_total", "Submissions rejected (validation or admission control).", m.metrics.rejected.Load())
+	fmt.Fprintf(&b, "# HELP flashwalker_admission_rejected_total Submissions rejected by admission control, by reason.\n"+
+		"# TYPE flashwalker_admission_rejected_total counter\n")
+	for _, r := range []struct {
+		reason string
+		v      int64
+	}{
+		{"invalid_config", m.metrics.rejInvalid.Load()},
+		{"unknown_graph", m.metrics.rejUnknownGraph.Load()},
+		{"queue_full", m.metrics.rejQueueFull.Load()},
+		{"rate_limited", m.metrics.rejRateLimited.Load()},
+		{"tenant_quota", m.metrics.rejTenantQuota.Load()},
+	} {
+		fmt.Fprintf(&b, "flashwalker_admission_rejected_total{reason=%q} %d\n", r.reason, r.v)
+	}
 	counter("flashwalker_walks_finished_total", "Walks finished across all jobs (including partial runs).", m.metrics.walksFinished.Load())
 	counter("flashwalker_hops_total", "Walk hops simulated across all jobs.", m.metrics.hops.Load())
 	counter("flashwalker_query_cache_hits_total", "Mapping-table query-cache hits across FlashWalker jobs.", m.metrics.queryCacheHits.Load())
@@ -66,8 +87,11 @@ func (m *Manager) Metrics() string {
 	counter("flashwalker_fault_chips_degraded_total", "Chips driven into sticky degradation.", m.metrics.chipsDegraded.Load())
 	counter("flashwalker_fault_reroutes_total", "Walks rerouted from degraded chips to their channel accelerator.", m.metrics.faultReroutes.Load())
 	gauge("flashwalker_jobs_running", "Jobs currently executing.", m.metrics.running.Load())
-	gauge("flashwalker_queue_depth", "Jobs waiting in the bounded queue.", int64(len(m.queue)))
-	gauge("flashwalker_queue_capacity", "Bounded queue capacity.", int64(cap(m.queue)))
+	m.mu.Lock()
+	qLen, qCap := m.fq.len(), m.fq.depth
+	m.mu.Unlock()
+	gauge("flashwalker_queue_depth", "Jobs waiting in the bounded queue.", int64(qLen))
+	gauge("flashwalker_queue_capacity", "Bounded queue capacity.", int64(qCap))
 	gauge("flashwalker_graphs_registered", "Graphs in the registry.", int64(len(m.reg.List())))
 	return b.String()
 }

@@ -58,6 +58,13 @@ func (m *Manager) snapshotPath(id string) string {
 	return filepath.Join(m.stateDir, "snapshots", id+".snap")
 }
 
+// streamPath is a job's completed-walk spool: NDJSON, one wire-format
+// WalkRecord per line, kept after the job finishes so /stream replays
+// survive a restart.
+func (m *Manager) streamPath(id string) string {
+	return filepath.Join(m.stateDir, "streams", id+".ndjson")
+}
+
 // journal rewrites j's journal record. Best-effort; no-op without a state
 // directory.
 func (m *Manager) journal(j *Job) {

@@ -153,6 +153,14 @@ type Engine struct {
 	checkEvery uint64
 	checkFn    func() bool
 	halted     bool
+
+	// Emission hook (SetEmitter): like the checkpoint hook, a pure observer
+	// consulted every emitEvery processed events strictly between events,
+	// but it can never halt the drain. Used to flush batched observations
+	// (e.g. completed-walk records) out of the hot loop on a cadence
+	// independent of the checkpoint interval.
+	emitEvery uint64
+	emitFn    func()
 }
 
 // kindFunc tags the engine-internal closure events created by At/After.
@@ -312,6 +320,35 @@ func (e *Engine) SetCheckpoint(every uint64, fn func() bool) {
 // ClearCheckpoint removes any installed checkpoint hook.
 func (e *Engine) ClearCheckpoint() { e.checkFn = nil; e.checkEvery = 0 }
 
+// SetEmitter installs a cooperative emission hook: fn is invoked every
+// `every` processed events during Run/RunUntil, always at an event boundary
+// (never mid-event), immediately before the checkpoint hook when both are
+// due. Unlike the checkpoint hook it has no return value and can never halt
+// the drain. Passing fn == nil clears the hook.
+//
+// Like the checkpoint hook, the emitter must not schedule events or
+// otherwise mutate the engine; it is a pure observer, so installing one
+// cannot perturb the simulated timeline. It exists so periodic export work
+// (draining completed-walk buffers to a consumer) gets its own cadence
+// instead of piggybacking on the checkpoint interval.
+func (e *Engine) SetEmitter(every uint64, fn func()) {
+	if fn != nil && every == 0 {
+		panic("sim: emitter interval must be positive")
+	}
+	e.emitEvery = every
+	e.emitFn = fn
+}
+
+// ClearEmitter removes any installed emission hook.
+func (e *Engine) ClearEmitter() { e.emitFn = nil; e.emitEvery = 0 }
+
+// emit consults the emission hook if one is due.
+func (e *Engine) emit() {
+	if e.emitFn != nil && e.processed%e.emitEvery == 0 {
+		e.emitFn()
+	}
+}
+
 // Halted reports whether the last Run/RunUntil was stopped by the
 // checkpoint hook rather than by draining the schedule or reaching the
 // deadline.
@@ -347,6 +384,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() Time {
 	e.halted = false
 	for e.Step() {
+		e.emit()
 		if e.checkpoint() {
 			break
 		}
@@ -362,6 +400,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
 	for e.Pending() > 0 && e.nextTime() <= deadline {
 		e.Step()
+		e.emit()
 		if e.checkpoint() {
 			return e.now
 		}
