@@ -12,10 +12,12 @@
 //	flashwalker -dataset TT-S -walks 10000 -faults -fault-read-rate 0.05
 //	flashwalker -dataset MB-S -walks 10000 -boards 4
 //	flashwalker -dataset MB-S -walks 10000 -boards 4 -kill-board 2 -kill-at 500000
+//	flashwalker -dataset TT-S -walks 10000 -mutations stream.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -56,6 +58,7 @@ func main() {
 	fabricMBps := flag.Int64("fabric-mbps", -1, "override the per-board fabric bandwidth in MB/s (with -boards > 1)")
 	killBoard := flag.Int("kill-board", -1, "fail-stop this board mid-run (with -boards > 1)")
 	killAt := flag.Int64("kill-at", 0, "simulated time in ns at which -kill-board dies")
+	mutations := flag.String("mutations", "", "JSON file with a timestamped edge insert/delete stream applied during the run")
 	flag.Parse()
 
 	opts := core.Options{WalkQuery: !*noWQ, HotSubgraphs: !*noHS, SmartSchedule: !*noSS}
@@ -113,6 +116,14 @@ func main() {
 		rc.Cfg.Faults.KillBoardAt = sim.Time(*killAt)
 	}
 
+	if *mutations != "" {
+		ms, err := loadMutations(*mutations)
+		if err != nil {
+			fail(err)
+		}
+		rc.Mutations = ms
+	}
+
 	var traceFile *os.File
 	var tw *trace.Writer
 	if *tracePath != "" {
@@ -166,6 +177,25 @@ func runSim(ctx context.Context, g *graph.Graph, rc core.RunConfig) (*core.Resul
 	return e.RunContext(ctx)
 }
 
+// loadMutations reads a mutation stream from a JSON file: an array of
+// {"at_ns","op","src","dst","weight"} objects, time-sorted. Only the shape
+// is checked here — the engine validates the stream against the graph and
+// the partitioning's dense-vertex cap at construction.
+func loadMutations(path string) (graph.MutationStream, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ms graph.MutationStream
+	if err := json.Unmarshal(data, &ms); err != nil {
+		return nil, fmt.Errorf("mutations %s: %w", path, err)
+	}
+	if err := ms.ValidateShape(); err != nil {
+		return nil, fmt.Errorf("mutations %s: %w", path, err)
+	}
+	return ms, nil
+}
+
 // closeTrace flushes and closes the trace output, reporting either the
 // writer's deferred encode error or the file close error — both used to
 // be silently dropped, leaving truncated traces looking complete.
@@ -215,6 +245,9 @@ func printResult(r *core.Result) {
 	fmt.Printf("PWB overflows         %d\n", r.PWBOverflows)
 	fmt.Printf("foreigner walks       %d (%d flushes)\n", r.ForeignerWalks, r.ForeignerFlushes)
 	fmt.Printf("partition switches    %d\n", r.PartitionSwitches)
+	if r.MutationsApplied != 0 {
+		fmt.Printf("mutations applied     %d\n", r.MutationsApplied)
+	}
 	fmt.Printf("chip updater util     %.1f%% mean / %.1f%% max\n",
 		100*r.ChipUpdaterUtil, 100*r.ChipUpdaterUtilMax)
 	fmt.Printf("channel bus util max  %.1f%%\n", 100*r.ChannelBusUtilMax)

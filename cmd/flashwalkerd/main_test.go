@@ -14,6 +14,9 @@ import (
 	"time"
 
 	"flashwalker/client"
+	"flashwalker/internal/core"
+	"flashwalker/internal/graph"
+	"flashwalker/internal/harness"
 )
 
 // daemon is one flashwalkerd process under test, driven through the typed
@@ -170,6 +173,105 @@ func TestCrashRecovery(t *testing.T) {
 	}
 	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
 		t.Errorf("snapshot survived job completion: %v", err)
+	}
+}
+
+// TestCrashRecoveryMutations is the dynamic-graph variant of
+// TestCrashRecovery: the job carries a mutation stream whose timestamps
+// straddle the run, the daemon is SIGKILLed after the first snapshot lands
+// (the snapshot carries the stream and its applied-prefix cursor), and the
+// recovered job must replay the rest of the stream to a result identical to
+// an uninterrupted run — mutations_applied included.
+func TestCrashRecoveryMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+
+	// Probe the unmutated run in-process for its end time and a safely
+	// sparse edge: the daemon derives the identical simulation from the
+	// same (dataset, walks, seed), so fractions of the probe's end time
+	// land inside the mutated run too.
+	ds, err := harness.DatasetByName("TT-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ds.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := harness.FlashWalkerConfig(ds, core.AllOptions(), 20_000, 7)
+	e, err := core.NewEngine(g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := e.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	endNS := int64(probe.Time)
+	pc := rc.PartCfg
+	var src, dst graph.VertexID
+	found := false
+	for v := graph.VertexID(0); v < g.NumVertices() && !found; v++ {
+		if d := g.OutDegree(v); d >= 1 && uint64(d)+1 < pc.EdgesPerBlock(g.Weighted()) {
+			src, dst, found = v, g.OutEdges(v)[0], true
+		}
+	}
+	if !found {
+		t.Fatal("TT-S has no sparse vertex with out-edges")
+	}
+	ms := graph.MutationStream{
+		{At: 0, Op: graph.OpDeleteEdge, Src: src, Dst: dst},
+		{At: 0, Op: graph.OpInsertEdge, Src: src, Dst: dst},
+		{At: endNS / 2, Op: graph.OpDeleteEdge, Src: src, Dst: dst},
+		{At: endNS * 3 / 4, Op: graph.OpInsertEdge, Src: src, Dst: dst},
+	}
+	spec := client.JobSpec{
+		Graph: "TT-S", NumWalks: 20_000, Seed: 7, CheckpointEvery: 64,
+		Mutations: ms,
+	}
+
+	refDir := t.TempDir()
+	dr := startDaemon(t, bin, refDir, freePort(t))
+	refJob := dr.submit(spec)
+	ref := dr.waitDone(refJob.ID, 2*time.Minute)
+	dr.kill()
+	if ref.Result == nil || ref.Result.Partial {
+		t.Fatalf("reference result unusable: %+v", ref.Result)
+	}
+	if ref.Result.MutationsApplied != uint64(len(ms)) {
+		t.Fatalf("reference applied %d of %d mutations", ref.Result.MutationsApplied, len(ms))
+	}
+
+	stateDir := t.TempDir()
+	d1 := startDaemon(t, bin, stateDir, freePort(t))
+	job := d1.submit(spec)
+	snapPath := filepath.Join(stateDir, "snapshots", job.ID+".snap")
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if fi, err := os.Stat(snapPath); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			d1.kill()
+			t.Fatal("running job never wrote a snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if jv := d1.get(job.ID); jv.State == client.StateDone {
+		t.Fatal("job finished before the crash; nothing to recover")
+	}
+	d1.kill()
+
+	d2 := startDaemon(t, bin, stateDir, freePort(t))
+	defer d2.kill()
+	got := d2.waitDone(job.ID, 2*time.Minute)
+	if got.Result == nil {
+		t.Fatal("recovered job has no result")
+	}
+	if *got.Result != *ref.Result {
+		t.Fatalf("recovered mutated result diverged:\n got %+v\nwant %+v", *got.Result, *ref.Result)
 	}
 }
 

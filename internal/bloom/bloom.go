@@ -19,9 +19,15 @@ type Filter struct {
 	seed  uint64
 }
 
-// New creates a filter sized for n expected insertions at the target false
-// positive probability fp (0 < fp < 1). n must be >= 1.
-func New(n int, fp float64) *Filter {
+// defaultSeed is the shared hash seed; Filter and Counting must use the
+// same value so a Counting filter's probe answers match a plain Filter
+// built over the same key multiset.
+const defaultSeed = 0x9e3779b97f4a7c15
+
+// geometry derives the (bit count, hash count) pair for n expected
+// insertions at false-positive probability fp. Both filter variants share
+// it: identical geometry is what makes their probe answers bit-identical.
+func geometry(n int, fp float64) (m uint64, k int) {
 	if n < 1 {
 		n = 1
 	}
@@ -32,22 +38,29 @@ func New(n int, fp float64) *Filter {
 		fp = 0.5
 	}
 	// Optimal bit count m = -n ln(fp) / (ln 2)^2, hashes k = (m/n) ln 2.
-	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	m = uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
 	if m < 64 {
 		m = 64
 	}
-	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	k = int(math.Round(float64(m) / float64(n) * math.Ln2))
 	if k < 1 {
 		k = 1
 	}
 	if k > 16 {
 		k = 16
 	}
+	return m, k
+}
+
+// New creates a filter sized for n expected insertions at the target false
+// positive probability fp (0 < fp < 1). n must be >= 1.
+func New(n int, fp float64) *Filter {
+	m, k := geometry(n, fp)
 	return &Filter{
 		bits:  make([]uint64, (m+63)/64),
 		nbits: m,
 		k:     k,
-		seed:  0x9e3779b97f4a7c15,
+		seed:  defaultSeed,
 	}
 }
 

@@ -1,0 +1,112 @@
+package bloom
+
+// Counting is a delete-capable Bloom filter whose probe answers are
+// bit-identical to a plain Filter built over the same key multiset. It
+// exists for dynamic-graph runs: the second-order edge filter must track
+// edge deletes, and a plain filter cannot clear bits.
+//
+// It keeps a per-position uint32 count alongside a mirrored bit array with
+// the exact same geometry, seed, and (h1 + i*h2) % nbits positions as
+// Filter. A bit is set iff its count is non-zero, and counts are additive
+// over the key multiset, so any interleaving of Adds and Removes that
+// yields multiset S leaves the bit array equal to a fresh plain Filter
+// with S inserted — the property the mutation metamorphic tests pin.
+// Contains reads only the bit array, with the same lazy early exit as
+// Filter, so probe sequences (and therefore walk trajectories) match.
+type Counting struct {
+	bits   []uint64
+	counts []uint32
+	nbits  uint64
+	k      int
+	added  int
+	seed   uint64
+}
+
+// NewCounting creates a counting filter sized for n expected insertions at
+// false-positive probability fp, with geometry identical to New(n, fp).
+func NewCounting(n int, fp float64) *Counting {
+	m, k := geometry(n, fp)
+	return &Counting{
+		bits:   make([]uint64, (m+63)/64),
+		counts: make([]uint32, m),
+		nbits:  m,
+		k:      k,
+		seed:   defaultSeed,
+	}
+}
+
+func (f *Counting) hashes(key uint64) (h1, h2 uint64) {
+	h1 = mix(key ^ f.seed)
+	h2 = mix(key+f.seed) | 1
+	return
+}
+
+// Add inserts one instance of key.
+func (f *Counting) Add(key uint64) {
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) % f.nbits
+		f.counts[b]++
+		f.bits[b>>6] |= 1 << (b & 63)
+	}
+	f.added++
+}
+
+// Remove deletes one instance of key. The caller must only remove keys it
+// added (the graph layer's delete-must-exist validation guarantees this);
+// removing an absent key would corrupt counts, so an underflow panics
+// rather than silently drifting from the rebuild-equivalent state.
+func (f *Counting) Remove(key uint64) {
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) % f.nbits
+		if f.counts[b] == 0 {
+			panic("bloom: Remove of a key that was never added")
+		}
+		f.counts[b]--
+		if f.counts[b] == 0 {
+			f.bits[b>>6] &^= 1 << (b & 63)
+		}
+	}
+	f.added--
+}
+
+// Contains reports whether key may be present, with Filter's exact probe
+// order and early exit (see Filter.Contains for why the position formula
+// must not change).
+func (f *Counting) Contains(key uint64) bool {
+	h1, h2 := f.hashes(key)
+	for i := 0; i < f.k; i++ {
+		b := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[b>>6]&(1<<(b&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Added reports the net number of keys currently inserted.
+func (f *Counting) Added() int { return f.added }
+
+// Bits reports the filter size in bits.
+func (f *Counting) Bits() uint64 { return f.nbits }
+
+// Hashes reports the number of hash functions.
+func (f *Counting) Hashes() int { return f.k }
+
+// SizeBytes reports the memory footprint: the bit array plus the counts.
+func (f *Counting) SizeBytes() int { return len(f.bits)*8 + len(f.counts)*4 }
+
+// BitsEqual reports whether the counting filter's bit array is identical
+// to the plain filter's — the rebuild-equivalence check the tests use.
+func (f *Counting) BitsEqual(p *Filter) bool {
+	if f.nbits != p.nbits || f.k != p.k {
+		return false
+	}
+	for i := range f.bits {
+		if f.bits[i] != p.bits[i] {
+			return false
+		}
+	}
+	return true
+}

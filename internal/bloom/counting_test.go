@@ -1,0 +1,77 @@
+package bloom
+
+import "testing"
+
+// TestCountingMatchesPlainRebuild is the filter-level rebuild-equivalence
+// proof: any interleaving of Adds and Removes that leaves multiset S must
+// leave a bit array identical to a fresh plain filter with S inserted —
+// including probe answers for keys never inserted.
+func TestCountingMatchesPlainRebuild(t *testing.T) {
+	const n, fp = 500, 0.01
+	c := NewCounting(n, fp)
+	p := New(n, fp)
+	if c.Bits() != p.Bits() || c.Hashes() != p.Hashes() {
+		t.Fatalf("geometry mismatch: counting (%d bits, %d hashes), plain (%d, %d)",
+			c.Bits(), c.Hashes(), p.Bits(), p.Hashes())
+	}
+
+	// Interleaved history: add 0..399, remove every third, re-add some,
+	// with duplicates to exercise multiset counts.
+	final := map[uint64]int{}
+	add := func(k uint64) { c.Add(k); final[k]++ }
+	rem := func(k uint64) { c.Remove(k); final[k]-- }
+	for k := uint64(0); k < 400; k++ {
+		add(k * 2654435761)
+	}
+	for k := uint64(0); k < 400; k += 3 {
+		rem(k * 2654435761)
+	}
+	for k := uint64(0); k < 100; k += 3 {
+		add(k * 2654435761)
+		add(k * 2654435761) // duplicate
+	}
+	for k := uint64(0); k < 100; k += 3 {
+		rem(k * 2654435761) // drop one duplicate, keep one
+	}
+	for k, cnt := range final {
+		for i := 0; i < cnt; i++ {
+			p.Add(k)
+		}
+	}
+	if !c.BitsEqual(p) {
+		t.Fatal("counting filter bits differ from a plain filter over the same multiset")
+	}
+	// Probe equivalence over present, removed, and never-added keys.
+	for k := uint64(0); k < 2000; k++ {
+		key := k * 0x9e3779b1
+		if c.Contains(key) != p.Contains(key) {
+			t.Fatalf("Contains(%d) disagrees with the plain filter", key)
+		}
+	}
+}
+
+// TestCountingRemoveClearsMembership pins the delete behaviour a plain
+// filter cannot provide.
+func TestCountingRemoveClearsMembership(t *testing.T) {
+	c := NewCounting(10, 0.01)
+	c.Add(42)
+	if !c.Contains(42) {
+		t.Fatal("added key not contained")
+	}
+	c.Remove(42)
+	if c.Contains(42) {
+		t.Fatal("removed key still contained (no other keys share its bits)")
+	}
+	if c.Added() != 0 {
+		t.Fatalf("Added() = %d after balanced add/remove", c.Added())
+	}
+}
+
+func TestCountingRemoveUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove of a never-added key did not panic")
+		}
+	}()
+	NewCounting(10, 0.01).Remove(7)
+}

@@ -95,6 +95,11 @@ type Array struct {
 	maxSimTime sim.Time
 	rootRNG    *rng.RNG
 
+	// Mutation stream state: the array applies the stream fleet-wide
+	// (mutate.go) and mirrors its cursor onto every board.
+	muts      graph.MutationStream
+	mutCursor int
+
 	onProgress func(Progress)
 	checkEvery uint64
 	onSnapshot func(*ArraySnapshot)
@@ -148,7 +153,15 @@ func newArray(g *graph.Graph, rc RunConfig) (*Array, error) {
 	if rc.Tracer != nil {
 		return nil, fmt.Errorf("core: tracing is not supported on arrays: %w", errs.ErrInvalidConfig)
 	}
+	g, err := cloneForMutations(g, rc)
+	if err != nil {
+		return nil, err
+	}
 	part, err := partition.Partition(g, rc.PartCfg)
+	if err != nil {
+		return nil, err
+	}
+	prefix, err := applyMutationPrefix(g, part, rc.Mutations)
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +176,8 @@ func newArray(g *graph.Graph, rc RunConfig) (*Array, error) {
 		g:          g,
 		part:       part,
 		shard:      shard,
+		muts:       rc.Mutations,
+		mutCursor:  prefix,
 		dead:       make([]bool, nb),
 		fabric:     make([]*sim.Queue, nb),
 		egress:     make([][]egressBuf, nb),
@@ -190,7 +205,7 @@ func newArray(g *graph.Graph, rc RunConfig) (*Array, error) {
 	brc.OnSnapshot = nil
 	brc.OnWalks = nil
 	for b := 0; b < nb; b++ {
-		e, err := newEngineOn(eng, g, brc, part)
+		e, err := newEngineOn(eng, g, brc, part, prefix)
 		if err != nil {
 			return nil, err
 		}
@@ -199,6 +214,13 @@ func newArray(g *graph.Graph, rc RunConfig) (*Array, error) {
 		a.boards = append(a.boards, e)
 		a.fabric[b] = sim.NewQueue(eng)
 		a.egress[b] = make([]egressBuf, nb)
+	}
+	// Attribute the construction-time prefix to the owning boards (the
+	// per-board res is overlaid on resume, so this only matters for fresh
+	// runs).
+	for _, m := range a.muts[:prefix] {
+		owner := a.shard.BoardOf(a.boards[0].homePartition(m.Src))
+		a.boards[owner].res.MutationsApplied++
 	}
 	return a, nil
 }
@@ -273,6 +295,10 @@ func (a *Array) RunContext(ctx context.Context) (*Result, error) {
 	if a.onWalks != nil {
 		a.eng.SetEmitter(a.emitEvery, a.flushWalks)
 		defer a.eng.ClearEmitter()
+	}
+	if a.mutCursor < len(a.muts) {
+		a.eng.SetApplier(a.applyMutations)
+		defer a.eng.ClearApplier()
 	}
 	if !a.launched {
 		a.launched = true
@@ -633,6 +659,7 @@ func (a *Array) aggregate() *Result {
 		res.CompletedFlushes += r.CompletedFlushes
 		res.GuiderStalls += r.GuiderStalls
 		res.PartitionSwitches += r.PartitionSwitches
+		res.MutationsApplied += r.MutationsApplied
 
 		if e.inj != nil {
 			res.Faults.ReadErrors += e.inj.Counters.ReadErrors

@@ -197,6 +197,7 @@ func ResumeArray(g *graph.Graph, snap *ArraySnapshot, opts ArrayResumeOptions) (
 		PartCfg: id.PartCfg, Spec: id.Spec, NumWalks: id.NumWalks,
 		MaxSimTime: id.MaxSimTime, TrackVisits: id.TrackVisits,
 		Audit: id.Audit, UseAliasSampling: id.UseAliasSampling,
+		Mutations:  id.Mutations,
 		OnProgress: opts.OnProgress, CheckpointEvery: opts.CheckpointEvery,
 		OnWalks: opts.OnWalks, EmitEvery: opts.EmitEvery,
 	}
@@ -265,6 +266,23 @@ func (a *Array) restore(snap *ArraySnapshot) error {
 	}
 	if err := a.eng.ImportState(snap.Sim, target); err != nil {
 		return err
+	}
+	// Replay the fleet's applied mutations beyond the construction-time
+	// prefix; every board's cursor follows. The per-board attribution this
+	// produces is overwritten by the res overlays below.
+	id := snap.Boards[0]
+	if id.MutApplied < a.mutCursor || id.MutApplied > len(a.muts) {
+		return fmt.Errorf("core: resume: snapshot applied %d of %d mutations (prefix %d)",
+			id.MutApplied, len(a.muts), a.mutCursor)
+	}
+	for a.mutCursor < id.MutApplied {
+		if err := a.applyMutation(a.muts[a.mutCursor]); err != nil {
+			return fmt.Errorf("core: resume: replay mutation %d: %w", a.mutCursor, err)
+		}
+		a.mutCursor++
+	}
+	for _, e := range a.boards {
+		e.mutCursor = a.mutCursor
 	}
 	for b, e := range a.boards {
 		if err := e.restoreBody(snap.Boards[b], target); err != nil {

@@ -102,6 +102,19 @@ type RunConfig struct {
 	// binary search. The tables double the per-edge metadata stored with
 	// each subgraph (see walk.GraphAlias.SizeBytes).
 	UseAliasSampling bool
+	// Mutations is a deterministic edge insert/delete stream applied during
+	// the run: a mutation stamped T becomes visible to the first simulated
+	// event at time >= T and to nothing before it (At == 0 mutations apply
+	// at construction, before hot-subgraph selection). The engine clones
+	// the graph, so the caller's Graph is never modified, and maintains
+	// every derived index — block degree tables, the second-order edge
+	// filter, alias tables — incrementally; the result is bit-identical to
+	// rebuilding those structures over the mutated graph. The stream must
+	// satisfy graph.MutationStream.Validate over the initial graph with the
+	// partitioning's dense-vertex threshold as the degree cap (the frozen
+	// block skeleton cannot re-partition mid-run). Empty means a static
+	// graph: the classic, byte-identical path.
+	Mutations graph.MutationStream
 	// OnProgress, when non-nil, receives live counter snapshots from the
 	// simulation goroutine at checkpoint boundaries (every CheckpointEvery
 	// events) and once more when the run ends. The callback must be fast
@@ -204,8 +217,13 @@ type Engine struct {
 	foreignerBufBytes int64
 
 	// edgeFilter answers neighbor-membership queries for second-order
-	// walks (nil otherwise); it lives in on-board DRAM.
-	edgeFilter *bloom.Filter
+	// walks (nil otherwise); it lives in on-board DRAM. Static runs use a
+	// plain bloom.Filter; dynamic runs use the counting variant below so
+	// edge deletes can clear bits.
+	edgeFilter edgeProber
+	// edgeFilterC is the delete-capable filter behind edgeFilter on runs
+	// with a mutation stream (nil otherwise).
+	edgeFilterC *bloom.Counting
 	// alias holds per-vertex alias tables when UseAliasSampling is set on
 	// a biased run (nil otherwise).
 	alias *walk.GraphAlias
@@ -281,6 +299,24 @@ type Engine struct {
 	// foreigners bound for other shards to the array's fabric.
 	arr     *Array
 	boardID int
+
+	// Mutation stream state (mutate.go). muts is the full stream;
+	// mutCursor is the next unapplied index (At == 0 prefix already applied
+	// at construction). In arrays the Array drives application fleet-wide
+	// and mirrors its cursor onto every board. initVertices/initEdges are
+	// the graph's pre-mutation counts — the identity a snapshot records,
+	// since a resumed run rebuilds from the initial graph and replays.
+	muts         graph.MutationStream
+	mutCursor    int
+	initVertices uint64
+	initEdges    uint64
+}
+
+// edgeProber is the membership-probe interface shared by the static and
+// counting edge Bloom filters; both answer bit-identically over the same
+// edge multiset.
+type edgeProber interface {
+	Contains(key uint64) bool
 }
 
 // progress snapshots the engine's headline counters. Only called from the
@@ -329,19 +365,39 @@ func NewEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
 
 // newEngine builds the engine skeleton — devices, accelerators, pools —
 // without seeding any walks. NewEngine seeds a fresh workload on top;
-// ResumeEngine overlays a snapshot's state instead.
+// ResumeEngine overlays a snapshot's state instead. A mutation stream is
+// validated here, the graph is cloned (callers keep their Graph pristine),
+// and the At == 0 prefix is applied before the accelerators are built so
+// hot-subgraph selection sees the patched degree sums.
 func newEngine(g *graph.Graph, rc RunConfig) (*Engine, error) {
+	g, err := cloneForMutations(g, rc)
+	if err != nil {
+		return nil, err
+	}
 	part, err := partition.Partition(g, rc.PartCfg)
 	if err != nil {
 		return nil, err
 	}
-	return newEngineOn(sim.New(), g, rc, part)
+	prefix, err := applyMutationPrefix(g, part, rc.Mutations)
+	if err != nil {
+		return nil, err
+	}
+	e, err := newEngineOn(sim.New(), g, rc, part, prefix)
+	if err != nil {
+		return nil, err
+	}
+	e.res.MutationsApplied = uint64(prefix)
+	return e, nil
 }
 
 // newEngineOn is newEngine over a caller-supplied event kernel and
 // partitioning: the array layer builds N board engines on one shared
-// sim.Engine so the whole fleet drains a single timeline.
-func newEngineOn(eng *sim.Engine, g *graph.Graph, rc RunConfig, part *partition.Partitioned) (*Engine, error) {
+// sim.Engine so the whole fleet drains a single timeline. mutCursor is the
+// already-applied prefix of rc.Mutations — the caller (newEngine, newArray)
+// has patched g and part up to it, and derived indexes built here (edge
+// filter, alias tables) are built over the patched graph, which is
+// bit-identical to building them initial-then-incrementally.
+func newEngineOn(eng *sim.Engine, g *graph.Graph, rc RunConfig, part *partition.Partitioned, mutCursor int) (*Engine, error) {
 	if err := rc.Cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -399,6 +455,12 @@ func newEngineOn(eng *sim.Engine, g *graph.Graph, rc RunConfig, part *partition.
 		onWalks:    rc.OnWalks,
 		emitEvery:  rc.EmitEvery,
 		rootRNG:    rng.New(rc.Cfg.Seed),
+
+		muts:         rc.Mutations,
+		mutCursor:    mutCursor,
+		initVertices: g.NumVertices(),
+		initEdges: uint64(int64(g.NumEdges()) -
+			(rc.Mutations.NetEdges(0) - rc.Mutations.NetEdges(mutCursor))),
 	}
 	if e.checkEvery == 0 {
 		e.checkEvery = DefaultCheckpointEvery
@@ -433,7 +495,17 @@ func newEngineOn(eng *sim.Engine, g *graph.Graph, rc RunConfig, part *partition.
 		e.res.Visits = make([]uint64, g.NumVertices())
 	}
 	if rc.Spec.Kind == walk.SecondOrder {
-		e.edgeFilter = partition.EdgeFilter(g, 0.01)
+		if len(rc.Mutations) > 0 {
+			// Size for the edge count after the whole stream: identical
+			// geometry to the plain filter a run over the fully mutated
+			// graph would build, so probe answers — and trajectories —
+			// match the rebuild leg of the metamorphic tests.
+			final := int(int64(g.NumEdges())+rc.Mutations.NetEdges(mutCursor)) + 1
+			e.edgeFilterC = partition.EdgeFilterCounting(g, 0.01, final)
+			e.edgeFilter = e.edgeFilterC
+		} else {
+			e.edgeFilter = partition.EdgeFilter(g, 0.01)
+		}
 	}
 	if rc.UseAliasSampling {
 		if rc.Spec.Kind != walk.Biased {
@@ -502,6 +574,10 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	if e.onWalks != nil {
 		e.eng.SetEmitter(e.emitEvery, e.flushWalks)
 		defer e.eng.ClearEmitter()
+	}
+	if e.mutCursor < len(e.muts) {
+		e.eng.SetApplier(e.applyMutations)
+		defer e.eng.ClearApplier()
 	}
 	e.launch()
 	if e.maxSimTime > 0 {

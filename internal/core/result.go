@@ -43,6 +43,7 @@ type Result struct {
 	CompletedFlushes  uint64 // completed-walk buffer flushes
 	GuiderStalls      uint64 // chip guider stalls on a full roving buffer
 	PartitionSwitches uint64
+	MutationsApplied  uint64 // graph mutations applied (this board's share)
 
 	// Multi-board array instrumentation (all zero on single-board runs).
 	Boards         int    // board count the run executed on

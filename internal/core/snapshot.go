@@ -147,8 +147,17 @@ type Snapshot struct {
 	TrackVisits      bool
 	Audit            bool
 	UseAliasSampling bool
-	GraphVertices    uint64
-	GraphEdges       uint64
+	// GraphVertices/GraphEdges are the INITIAL graph's counts (before any
+	// mutations): a resumed run is handed the initial graph and replays
+	// the stream's applied prefix itself.
+	GraphVertices uint64
+	GraphEdges    uint64
+	// Mutations is the run's full mutation stream; MutApplied is how many
+	// of them had been applied when the snapshot was taken. ResumeEngine
+	// re-applies mutations [0, MutApplied) to the initial graph before
+	// overlaying state, and the applier hook resumes from the cursor.
+	Mutations  graph.MutationStream
+	MutApplied int
 
 	// Kernel and device state.
 	Sim      sim.EngineState
@@ -346,8 +355,10 @@ func (e *Engine) buildSnapshotBody(targetID func(sim.Handler) (int32, error)) (*
 		TrackVisits:      e.res.Visits != nil,
 		Audit:            e.audit,
 		UseAliasSampling: e.alias != nil,
-		GraphVertices:    e.g.NumVertices(),
-		GraphEdges:       e.g.NumEdges(),
+		GraphVertices:    e.initVertices,
+		GraphEdges:       e.initEdges,
+		Mutations:        e.muts,
+		MutApplied:       e.mutCursor,
 
 		Flash: flashState,
 		DRAM:  e.dr.State(),
@@ -498,6 +509,7 @@ func ResumeEngine(g *graph.Graph, snap *Snapshot, opts ResumeOptions) (*Engine, 
 		PartCfg: snap.PartCfg, Spec: snap.Spec, NumWalks: snap.NumWalks,
 		MaxSimTime: snap.MaxSimTime, TrackVisits: snap.TrackVisits,
 		Audit: snap.Audit, UseAliasSampling: snap.UseAliasSampling,
+		Mutations:  snap.Mutations,
 		OnProgress: opts.OnProgress, CheckpointEvery: opts.CheckpointEvery,
 		OnSnapshot: opts.OnSnapshot, SnapshotEvery: opts.SnapshotEvery,
 		OnWalks: opts.OnWalks, EmitEvery: opts.EmitEvery,
@@ -537,6 +549,21 @@ func (e *Engine) restore(snap *Snapshot) error {
 	}
 	if err := e.eng.ImportState(snap.Sim, target); err != nil {
 		return err
+	}
+	// Replay the mutations the original run had applied beyond the At == 0
+	// prefix (which construction already applied). Incremental apply is
+	// rebuild-equivalent, so the graph and every derived index land in the
+	// exact state the snapshot saw. Runs before the res overlay below, so
+	// attribution counters come from the snapshot, not the replay.
+	if snap.MutApplied < e.mutCursor || snap.MutApplied > len(e.muts) {
+		return fmt.Errorf("core: resume: snapshot applied %d of %d mutations (prefix %d)",
+			snap.MutApplied, len(e.muts), e.mutCursor)
+	}
+	for e.mutCursor < snap.MutApplied {
+		if err := e.applyMutation(e.muts[e.mutCursor]); err != nil {
+			return fmt.Errorf("core: resume: replay mutation %d: %w", e.mutCursor, err)
+		}
+		e.mutCursor++
 	}
 	return e.restoreBody(snap, target)
 }

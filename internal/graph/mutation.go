@@ -1,0 +1,279 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dynamic-graph mutations: a deterministic, timestamped stream of edge
+// inserts and deletes that the simulation applies strictly between events.
+// The graph type stays "immutable" from the walkers' point of view — a
+// mutation is only ever applied at an event boundary by the engine that
+// owns a private Clone, never concurrently with a hop decision.
+//
+// Apply order is fully deterministic: an inserted edge lands at the upper
+// bound of its destination's run in the (sorted) adjacency list, which is
+// exactly where Builder.Build's per-vertex sort would put it, and a delete
+// removes the last parallel edge of its (src, dst) pair. The per-vertex
+// cumulative-weight run is recomputed left to right in the same float32
+// order Builder uses, so a stream applied incrementally yields the same
+// CSR arrays — bit for bit — as rebuilding the mutated edge list from
+// scratch. (The one unspecified case is parallel *weighted* edges with
+// distinct weights: Builder's adjacency sort is not stable, so their
+// relative order is unspecified there too.)
+
+// MutationOp names a mutation operation.
+type MutationOp string
+
+const (
+	// OpInsertEdge adds one directed edge (src, dst) with the given weight
+	// (weight must be 0 on unweighted graphs, positive on weighted ones).
+	OpInsertEdge MutationOp = "insert"
+	// OpDeleteEdge removes one directed edge (src, dst); the last parallel
+	// edge of the pair when duplicates exist. Weight must be 0.
+	OpDeleteEdge MutationOp = "delete"
+)
+
+// Mutation is one timestamped edge mutation. At is in simulated nanoseconds:
+// a mutation at time T is visible to the first simulation event at time
+// >= T and invisible to every event before it. At == 0 means "before the
+// run": the mutation is visible everywhere, including to construction-time
+// decisions such as hot-subgraph selection.
+type Mutation struct {
+	At     int64      `json:"at_ns"`
+	Op     MutationOp `json:"op"`
+	Src    VertexID   `json:"src"`
+	Dst    VertexID   `json:"dst"`
+	Weight float32    `json:"weight,omitempty"`
+}
+
+// MutationStream is a time-ordered mutation sequence. Equal timestamps
+// apply in stream order.
+type MutationStream []Mutation
+
+// ValidateShape checks the graph-independent invariants of a stream:
+// non-decreasing non-negative timestamps, recognized ops, and finite
+// non-negative weights (zero on deletes). It never panics on arbitrary
+// decoded input — the service fuzz target drives it directly.
+func (ms MutationStream) ValidateShape() error {
+	prev := int64(0)
+	for i, m := range ms {
+		if m.At < 0 {
+			return fmt.Errorf("graph: mutation %d at negative time %d", i, m.At)
+		}
+		if m.At < prev {
+			return fmt.Errorf("graph: mutation %d at %d before predecessor at %d (stream must be time-sorted)", i, m.At, prev)
+		}
+		prev = m.At
+		switch m.Op {
+		case OpInsertEdge:
+			w := float64(m.Weight)
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return fmt.Errorf("graph: mutation %d has invalid weight %v", i, m.Weight)
+			}
+		case OpDeleteEdge:
+			if m.Weight != 0 {
+				return fmt.Errorf("graph: mutation %d deletes with non-zero weight %v", i, m.Weight)
+			}
+		default:
+			return fmt.Errorf("graph: mutation %d has unknown op %q", i, m.Op)
+		}
+	}
+	return nil
+}
+
+// Validate checks the full stream against the graph it will be applied to:
+// shape, endpoint ranges, weight rules, delete-must-exist (multiset-aware
+// across the stream), and — when maxDegree > 0 — that no touched vertex
+// starts above or is pushed above maxDegree out-edges. The degree cap is
+// how callers forbid mutations on dense vertices and density flips, both
+// of which would move the frozen partition skeleton.
+func (ms MutationStream) Validate(g *Graph, maxDegree uint64) error {
+	if err := ms.ValidateShape(); err != nil {
+		return err
+	}
+	if len(ms) == 0 {
+		return nil
+	}
+	n := g.NumVertices()
+	// Running per-vertex degree and per-pair parallel-edge deltas.
+	degDelta := map[VertexID]int64{}
+	pairDelta := map[[2]VertexID]int64{}
+	for i, m := range ms {
+		if m.Src >= n || m.Dst >= n {
+			return fmt.Errorf("graph: mutation %d edge (%d,%d) outside %d vertices", i, m.Src, m.Dst, n)
+		}
+		deg := int64(g.OutDegree(m.Src)) + degDelta[m.Src]
+		if maxDegree > 0 && uint64(g.OutDegree(m.Src)) > maxDegree {
+			return fmt.Errorf("graph: mutation %d touches dense vertex %d (degree %d > %d)",
+				i, m.Src, g.OutDegree(m.Src), maxDegree)
+		}
+		switch m.Op {
+		case OpInsertEdge:
+			if g.Weighted() {
+				if m.Weight <= 0 {
+					return fmt.Errorf("graph: mutation %d inserts weight %v into a weighted graph (must be > 0)", i, m.Weight)
+				}
+			} else if m.Weight != 0 {
+				return fmt.Errorf("graph: mutation %d inserts weight %v into an unweighted graph (must be 0)", i, m.Weight)
+			}
+			if maxDegree > 0 && uint64(deg+1) > maxDegree {
+				return fmt.Errorf("graph: mutation %d pushes vertex %d to %d out-edges, above the dense threshold %d",
+					i, m.Src, deg+1, maxDegree)
+			}
+			degDelta[m.Src]++
+			pairDelta[[2]VertexID{m.Src, m.Dst}]++
+		case OpDeleteEdge:
+			pair := [2]VertexID{m.Src, m.Dst}
+			if int64(countParallel(g, m.Src, m.Dst))+pairDelta[pair] < 1 {
+				return fmt.Errorf("graph: mutation %d deletes missing edge (%d,%d)", i, m.Src, m.Dst)
+			}
+			degDelta[m.Src]--
+			pairDelta[pair]--
+		}
+	}
+	return nil
+}
+
+// countParallel reports how many (src, dst) edges the graph holds, using
+// the sorted adjacency invariant.
+func countParallel(g *Graph, src, dst VertexID) int {
+	adj := g.OutEdges(src)
+	lo := sort.Search(len(adj), func(i int) bool { return adj[i] >= dst })
+	hi := sort.Search(len(adj), func(i int) bool { return adj[i] > dst })
+	return hi - lo
+}
+
+// NetEdges reports the stream's net edge-count change from entry `from`
+// onward (inserts minus deletes).
+func (ms MutationStream) NetEdges(from int) int64 {
+	var net int64
+	for _, m := range ms[from:] {
+		if m.Op == OpInsertEdge {
+			net++
+		} else {
+			net--
+		}
+	}
+	return net
+}
+
+// Hash returns a SHA-256 over the stream's canonical binary encoding. The
+// zero stream hashes to the zero array, so cache keys for mutation-free
+// jobs are unchanged by the field's introduction.
+func (ms MutationStream) Hash() [sha256.Size]byte {
+	if len(ms) == 0 {
+		return [sha256.Size]byte{}
+	}
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, m := range ms {
+		put(uint64(m.At))
+		if m.Op == OpInsertEdge {
+			put(0)
+		} else {
+			put(1)
+		}
+		put(m.Src)
+		put(m.Dst)
+		put(uint64(math.Float32bits(m.Weight)))
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Clone returns a deep copy of the graph. Engines that apply a mutation
+// stream clone first so shared graphs (dataset registries, caches) are
+// never mutated in place.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Offsets: append([]uint64(nil), g.Offsets...),
+		Edges:   append([]VertexID(nil), g.Edges...),
+	}
+	if g.Weights != nil {
+		c.Weights = append([]float32(nil), g.Weights...)
+	}
+	if g.CumWeights != nil {
+		c.CumWeights = append([]float32(nil), g.CumWeights...)
+	}
+	return c
+}
+
+// ApplyMutation applies one validated mutation in place, keeping every CSR
+// invariant: the adjacency stays sorted, Offsets stay monotone, and the
+// source vertex's cumulative-weight run is recomputed left to right in
+// Builder order. Callers own the graph exclusively (see Clone).
+func (g *Graph) ApplyMutation(m Mutation) error {
+	n := g.NumVertices()
+	if m.Src >= n || m.Dst >= n {
+		return fmt.Errorf("graph: mutation edge (%d,%d) outside %d vertices", m.Src, m.Dst, n)
+	}
+	switch m.Op {
+	case OpInsertEdge:
+		if g.Weighted() == (m.Weight == 0) {
+			return fmt.Errorf("graph: insert weight %v does not match weighted=%v", m.Weight, g.Weighted())
+		}
+		adj := g.OutEdges(m.Src)
+		// Upper bound of the equal-dst run: where Builder's sort would
+		// place a fresh duplicate.
+		at := g.Offsets[m.Src] + uint64(sort.Search(len(adj), func(i int) bool { return adj[i] > m.Dst }))
+		g.Edges = spliceIn(g.Edges, at, m.Dst)
+		if g.Weighted() {
+			g.Weights = spliceIn(g.Weights, at, m.Weight)
+			g.CumWeights = spliceIn(g.CumWeights, at, 0)
+		}
+		for v := m.Src + 1; v <= n; v++ {
+			g.Offsets[v]++
+		}
+	case OpDeleteEdge:
+		adj := g.OutEdges(m.Src)
+		hi := sort.Search(len(adj), func(i int) bool { return adj[i] > m.Dst })
+		if hi == 0 || adj[hi-1] != m.Dst {
+			return fmt.Errorf("graph: delete of missing edge (%d,%d)", m.Src, m.Dst)
+		}
+		at := g.Offsets[m.Src] + uint64(hi-1)
+		g.Edges = spliceOut(g.Edges, at)
+		if g.Weighted() {
+			g.Weights = spliceOut(g.Weights, at)
+			g.CumWeights = spliceOut(g.CumWeights, at)
+		}
+		for v := m.Src + 1; v <= n; v++ {
+			g.Offsets[v]--
+		}
+	default:
+		return fmt.Errorf("graph: unknown mutation op %q", m.Op)
+	}
+	if g.Weighted() {
+		// Recompute the touched vertex's cumulative run in the exact
+		// float32 accumulation order Builder.Build uses.
+		var acc float32
+		for i := g.Offsets[m.Src]; i < g.Offsets[m.Src+1]; i++ {
+			acc += g.Weights[i]
+			g.CumWeights[i] = acc
+		}
+	}
+	return nil
+}
+
+// spliceIn inserts v at index at, shifting the tail right.
+func spliceIn[T any](s []T, at uint64, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[at+1:], s[at:])
+	s[at] = v
+	return s
+}
+
+// spliceOut removes the element at index at, shifting the tail left.
+func spliceOut[T any](s []T, at uint64) []T {
+	copy(s[at:], s[at+1:])
+	return s[:len(s)-1]
+}

@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"testing"
+)
+
+// mutatedRebuild applies ms to a fresh Builder edge list (the "full
+// rebuild" leg the incremental path must match bit for bit).
+func mutatedRebuild(t *testing.T, numVertices uint64, edges []Edge, ms MutationStream, weighted bool) *Graph {
+	t.Helper()
+	list := append([]Edge(nil), edges...)
+	for _, m := range ms {
+		switch m.Op {
+		case OpInsertEdge:
+			w := m.Weight
+			if !weighted {
+				w = 1
+			}
+			list = append(list, Edge{Src: m.Src, Dst: m.Dst, Weight: w})
+		case OpDeleteEdge:
+			// Remove one (src, dst) instance; which one is irrelevant for
+			// identical-weight duplicates, and the tests avoid
+			// distinct-weight duplicates (Builder's sort is unstable there).
+			for i := len(list) - 1; i >= 0; i-- {
+				if list[i].Src == m.Src && list[i].Dst == m.Dst {
+					list = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	b := NewBuilder(numVertices)
+	for _, e := range list {
+		if weighted {
+			b.AddWeightedEdge(e.Src, e.Dst, e.Weight)
+		} else {
+			b.AddEdge(e.Src, e.Dst)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	return g
+}
+
+func graphsEqual(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if len(got.Offsets) != len(want.Offsets) {
+		t.Fatalf("offsets length %d != %d", len(got.Offsets), len(want.Offsets))
+	}
+	for i := range got.Offsets {
+		if got.Offsets[i] != want.Offsets[i] {
+			t.Fatalf("offsets[%d] = %d, want %d", i, got.Offsets[i], want.Offsets[i])
+		}
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("edges length %d != %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range got.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("edges[%d] = %d, want %d", i, got.Edges[i], want.Edges[i])
+		}
+	}
+	if (got.Weights == nil) != (want.Weights == nil) {
+		t.Fatalf("weighted mismatch")
+	}
+	for i := range got.Weights {
+		if got.Weights[i] != want.Weights[i] {
+			t.Fatalf("weights[%d] = %v, want %v", i, got.Weights[i], want.Weights[i])
+		}
+		if got.CumWeights[i] != want.CumWeights[i] {
+			t.Fatalf("cumweights[%d] = %v, want %v", i, got.CumWeights[i], want.CumWeights[i])
+		}
+	}
+}
+
+func testEdgesUnweighted() (uint64, []Edge) {
+	return 8, []Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 3}, {Src: 0, Dst: 5},
+		{Src: 1, Dst: 2}, {Src: 1, Dst: 2}, // parallel pair
+		{Src: 2, Dst: 0}, {Src: 2, Dst: 7},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 6},
+		{Src: 6, Dst: 7}, {Src: 7, Dst: 0},
+	}
+}
+
+// TestApplyMutationMatchesRebuild is the package-level half of the
+// metamorphic proof: applying a stream in place must produce the same CSR
+// arrays as rebuilding the mutated edge list with Builder.
+func TestApplyMutationMatchesRebuild(t *testing.T) {
+	nv, edges := testEdgesUnweighted()
+	ms := MutationStream{
+		{At: 0, Op: OpInsertEdge, Src: 0, Dst: 7},
+		{At: 0, Op: OpDeleteEdge, Src: 1, Dst: 2},
+		{At: 5, Op: OpInsertEdge, Src: 4, Dst: 0},
+		{At: 5, Op: OpInsertEdge, Src: 4, Dst: 2},
+		{At: 9, Op: OpDeleteEdge, Src: 0, Dst: 3},
+		{At: 12, Op: OpInsertEdge, Src: 7, Dst: 3},
+		{At: 12, Op: OpDeleteEdge, Src: 7, Dst: 3},
+	}
+	base, err := FromEdges(nv, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Validate(base, 0); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	got := base.Clone()
+	for _, m := range ms {
+		if err := got.ApplyMutation(m); err != nil {
+			t.Fatalf("ApplyMutation(%+v): %v", m, err)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("mutated graph invalid: %v", err)
+	}
+	graphsEqual(t, got, mutatedRebuild(t, nv, edges, ms, false))
+	// The clone protected the original.
+	orig, _ := FromEdges(nv, edges)
+	graphsEqual(t, base, orig)
+}
+
+func TestApplyMutationMatchesRebuildWeighted(t *testing.T) {
+	nv := uint64(6)
+	b := NewBuilder(nv)
+	edges := []Edge{
+		{Src: 0, Dst: 1, Weight: 2}, {Src: 0, Dst: 2, Weight: 0.5},
+		{Src: 1, Dst: 3, Weight: 1.25}, {Src: 2, Dst: 4, Weight: 3},
+		{Src: 3, Dst: 5, Weight: 0.75}, {Src: 4, Dst: 0, Weight: 1},
+		{Src: 5, Dst: 1, Weight: 2.5},
+	}
+	for _, e := range edges {
+		b.AddWeightedEdge(e.Src, e.Dst, e.Weight)
+	}
+	base, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := MutationStream{
+		{At: 0, Op: OpInsertEdge, Src: 0, Dst: 4, Weight: 1.5},
+		{At: 3, Op: OpDeleteEdge, Src: 0, Dst: 2},
+		{At: 3, Op: OpInsertEdge, Src: 5, Dst: 0, Weight: 0.25},
+		{At: 7, Op: OpInsertEdge, Src: 2, Dst: 1, Weight: 4},
+	}
+	if err := ms.Validate(base, 0); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	got := base.Clone()
+	for _, m := range ms {
+		if err := got.ApplyMutation(m); err != nil {
+			t.Fatalf("ApplyMutation(%+v): %v", m, err)
+		}
+	}
+	graphsEqual(t, got, mutatedRebuild(t, nv, edges, ms, true))
+}
+
+// TestValidateMutationsRejects is the table of submission-time rejections:
+// every bad stream must fail validation up front, never crash an apply.
+func TestValidateMutationsRejects(t *testing.T) {
+	nv, edges := testEdgesUnweighted()
+	g, err := FromEdges(nv, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		ms   MutationStream
+		deg  uint64
+	}{
+		{"negative time", MutationStream{{At: -1, Op: OpInsertEdge, Src: 0, Dst: 1}}, 0},
+		{"unsorted", MutationStream{{At: 5, Op: OpInsertEdge, Src: 0, Dst: 1}, {At: 4, Op: OpInsertEdge, Src: 0, Dst: 2}}, 0},
+		{"unknown op", MutationStream{{At: 0, Op: "upsert", Src: 0, Dst: 1}}, 0},
+		{"src out of range", MutationStream{{At: 0, Op: OpInsertEdge, Src: nv, Dst: 1}}, 0},
+		{"dst out of range", MutationStream{{At: 0, Op: OpInsertEdge, Src: 0, Dst: nv}}, 0},
+		{"weight on unweighted", MutationStream{{At: 0, Op: OpInsertEdge, Src: 0, Dst: 1, Weight: 2}}, 0},
+		{"weight on delete", MutationStream{{At: 0, Op: OpDeleteEdge, Src: 0, Dst: 1, Weight: 1}}, 0},
+		{"delete missing edge", MutationStream{{At: 0, Op: OpDeleteEdge, Src: 0, Dst: 2}}, 0},
+		{"delete beyond multiplicity", MutationStream{
+			{At: 0, Op: OpDeleteEdge, Src: 1, Dst: 2},
+			{At: 1, Op: OpDeleteEdge, Src: 1, Dst: 2},
+			{At: 2, Op: OpDeleteEdge, Src: 1, Dst: 2},
+		}, 0},
+		{"degree cap", MutationStream{
+			{At: 0, Op: OpInsertEdge, Src: 0, Dst: 6},
+			{At: 0, Op: OpInsertEdge, Src: 0, Dst: 7},
+		}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.ms.Validate(g, tc.deg); err == nil {
+				t.Fatalf("stream validated but should not have: %+v", tc.ms)
+			}
+		})
+	}
+	// Sanity: delete-then-reinsert of the parallel pair is legal, as is a
+	// delete made possible by an earlier insert in the same stream.
+	ok := MutationStream{
+		{At: 0, Op: OpDeleteEdge, Src: 1, Dst: 2},
+		{At: 0, Op: OpDeleteEdge, Src: 1, Dst: 2},
+		{At: 1, Op: OpInsertEdge, Src: 1, Dst: 4},
+		{At: 1, Op: OpDeleteEdge, Src: 1, Dst: 4},
+	}
+	if err := ok.Validate(g, 0); err != nil {
+		t.Fatalf("legal stream rejected: %v", err)
+	}
+}
+
+func TestMutationStreamHash(t *testing.T) {
+	var empty MutationStream
+	if empty.Hash() != (MutationStream{}).Hash() {
+		t.Fatal("empty-stream hashes differ")
+	}
+	if empty.Hash() != [32]byte{} {
+		t.Fatal("empty stream must hash to the zero array (cache-key compatibility)")
+	}
+	a := MutationStream{{At: 1, Op: OpInsertEdge, Src: 2, Dst: 3}}
+	b := MutationStream{{At: 1, Op: OpInsertEdge, Src: 2, Dst: 3}}
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical streams hash differently")
+	}
+	c := MutationStream{{At: 1, Op: OpDeleteEdge, Src: 2, Dst: 3}}
+	d := MutationStream{{At: 2, Op: OpInsertEdge, Src: 2, Dst: 3}}
+	if a.Hash() == c.Hash() || a.Hash() == d.Hash() {
+		t.Fatal("distinct streams collide")
+	}
+	if a.Hash() == empty.Hash() {
+		t.Fatal("non-empty stream hashed to the zero array")
+	}
+}
+
+func TestNetEdges(t *testing.T) {
+	ms := MutationStream{
+		{At: 0, Op: OpInsertEdge, Src: 0, Dst: 1},
+		{At: 1, Op: OpInsertEdge, Src: 0, Dst: 2},
+		{At: 2, Op: OpDeleteEdge, Src: 0, Dst: 1},
+	}
+	if got := ms.NetEdges(0); got != 1 {
+		t.Fatalf("NetEdges(0) = %d, want 1", got)
+	}
+	if got := ms.NetEdges(2); got != -1 {
+		t.Fatalf("NetEdges(2) = %d, want -1", got)
+	}
+}

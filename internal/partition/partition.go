@@ -68,6 +68,15 @@ func (c Config) EdgeBytes(weighted bool) int64 {
 	return b
 }
 
+// EdgesPerBlock reports the dense-vertex threshold: the largest out-degree
+// that still fits one block alongside its vertex header. A vertex above it
+// is dense, and a mutation stream must keep every touched vertex at or
+// below it so the frozen partition skeleton stays valid (no density flips,
+// no block overflow).
+func (c Config) EdgesPerBlock(weighted bool) uint64 {
+	return uint64((c.BlockBytes - int64(c.IDBytes)) / c.EdgeBytes(weighted))
+}
+
 // Block describes one graph block (one subgraph mapping table entry: the two
 // end vertices, the flash address — assigned by Placement — and the summed
 // out-degree, per paper §III-D).
@@ -446,6 +455,47 @@ func EdgeFilter(g *graph.Graph, fp float64) *bloom.Filter {
 		}
 	}
 	return f
+}
+
+// EdgeFilterCounting is EdgeFilter's delete-capable variant for dynamic
+// runs: sized for `capacity` keys (the edge count after the whole mutation
+// stream, so the geometry matches the plain filter a from-scratch build of
+// the final graph would use) and populated with the graph's current edges.
+// Counts are additive over the edge multiset, so incremental Add/Remove
+// keeps the bit array — and every probe answer — identical to rebuilding.
+func EdgeFilterCounting(g *graph.Graph, fp float64, capacity int) *bloom.Counting {
+	f := bloom.NewCounting(capacity, fp)
+	for v := graph.VertexID(0); v < g.NumVertices(); v++ {
+		for _, d := range g.OutEdges(v) {
+			f.Add(EdgeKey(v, d))
+		}
+	}
+	return f
+}
+
+// ApplyEdgeDelta patches the frozen skeleton's per-block stats for a
+// mutation on src's out-edges: SumOutDeg and Bytes move by delta edges.
+// The skeleton itself — block boundaries, mapping and range tables, the
+// dense set — never changes; stream validation already rejected mutations
+// that would move it (dense vertices, block overflow, density flips).
+func (p *Partitioned) ApplyEdgeDelta(src graph.VertexID, delta int64) error {
+	id, _ := p.BlockOf(src)
+	if id < 0 || id >= len(p.Blocks) {
+		return fmt.Errorf("partition: no block for mutated vertex %d", src)
+	}
+	b := &p.Blocks[id]
+	if b.Dense {
+		return fmt.Errorf("partition: mutation touches dense vertex %d", src)
+	}
+	newDeg := int64(b.SumOutDeg) + delta
+	newBytes := b.Bytes + delta*p.Cfg.EdgeBytes(p.G.Weighted())
+	if newDeg < 0 || newBytes < 0 || newBytes > p.Cfg.BlockBytes {
+		return fmt.Errorf("partition: mutation on vertex %d leaves block %d at %d edges / %d bytes",
+			src, id, newDeg, newBytes)
+	}
+	b.SumOutDeg = uint64(newDeg)
+	b.Bytes = newBytes
+	return nil
 }
 
 // InDegreeSums computes, per block, the total in-degree of the vertices it

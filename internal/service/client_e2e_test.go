@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"flashwalker/client"
+	"flashwalker/internal/graph"
 	"flashwalker/internal/service"
 )
 
@@ -182,6 +183,8 @@ func TestClientErrorEnvelope(t *testing.T) {
 	_, err = c.Submit(ctx, client.JobSpec{Graph: "no-such-graph"})
 	wantCode(t, err, http.StatusNotFound, "unknown_graph")
 	_, err = c.Submit(ctx, client.JobSpec{Graph: "TT-S", Kind: "warp-drive"})
+	wantCode(t, err, http.StatusBadRequest, "invalid_config")
+	_, err = c.Submit(ctx, client.JobSpec{Graph: "TT-S", Mutations: graph.MutationStream{{Op: "rewire"}}})
 	wantCode(t, err, http.StatusBadRequest, "invalid_config")
 	_, err = c.List(ctx, client.ListQuery{Status: "sideways"})
 	wantCode(t, err, http.StatusBadRequest, "bad_request")

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flashwalker/internal/errs"
+	"flashwalker/internal/graph"
 )
 
 // FuzzJobSpecDecode hardens the submission path's pure half: arbitrary bytes
@@ -39,6 +40,10 @@ func FuzzJobSpecDecode(f *testing.F) {
 		`{"boards":1,"fault_config":{"kill_board_at":500000}}`,
 		`{"boards":2,"fault_config":{"kill_board_at":500000,"kill_board":2}}`,
 		`{"fault_config":{"kill_board_at":-1}}`,
+		`{"kind":"flashwalker","graph":"TT-S","mutations":[{"at_ns":0,"op":"insert","src":1,"dst":2}]}`,
+		`{"kind":"graphwalker","graph":"TT-S","mutations":[{"op":"insert","src":1,"dst":2}]}`,
+		`{"mutations":[{"at_ns":-1,"op":"insert","src":0,"dst":0}]}`,
+		`{"mutations":[{"op":"rewire","src":0,"dst":0}]}`,
 	} {
 		f.Add([]byte(seed))
 	}
@@ -73,6 +78,79 @@ func FuzzJobSpecDecode(f *testing.F) {
 			// killed index inside the array.
 			if fc := *spec.FaultConfig; fc.KillBoardAt > 0 && (spec.Boards <= 1 || fc.KillBoard >= spec.Boards) {
 				t.Fatalf("validated spec kept an untargetable kill: %+v", spec)
+			}
+		}
+		// A validated mutation stream must be well-shaped and never ride on
+		// the host baseline, which does not support mutations.
+		if len(spec.Mutations) > 0 {
+			if spec.Kind == KindGraphWalker {
+				t.Fatalf("validated spec kept mutations on the host baseline: %+v", spec)
+			}
+			if err := spec.Mutations.ValidateShape(); err != nil {
+				t.Fatalf("validated spec kept a malformed mutation stream: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzMutationStreamDecode hardens the mutation-stream half of the
+// submission path: arbitrary bytes either fail JSON decoding, fail
+// validation with a typed errs.ErrInvalidConfig (so the HTTP layer maps
+// them to 400 invalid_config), or decode to a stream whose shape invariants
+// all hold. It must never panic — graph.MutationStream.ValidateShape and
+// JobSpec.validate are both driven directly with whatever decodes.
+func FuzzMutationStreamDecode(f *testing.F) {
+	for _, seed := range []string{
+		`[]`,
+		`null`,
+		`[{"at_ns":0,"op":"insert","src":1,"dst":2}]`,
+		`[{"at_ns":0,"op":"insert","src":1,"dst":2,"weight":2.5}]`,
+		`[{"at_ns":1000,"op":"delete","src":3,"dst":4}]`,
+		`[{"at_ns":5,"op":"insert","src":0,"dst":0},{"at_ns":5,"op":"delete","src":0,"dst":0}]`,
+		`[{"at_ns":10,"op":"insert","src":0,"dst":1},{"at_ns":9,"op":"insert","src":0,"dst":2}]`,
+		`[{"at_ns":-1,"op":"insert","src":0,"dst":0}]`,
+		`[{"op":"rewire","src":0,"dst":0}]`,
+		`[{"op":"delete","src":0,"dst":0,"weight":1.5}]`,
+		`[{"op":"insert","src":0,"dst":0,"weight":-1}]`,
+		`[{"op":"insert","src":0,"dst":0,"weight":1e39}]`,
+		`[{"op":"insert","src":18446744073709551615,"dst":0}]`,
+		`[{}]`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ms graph.MutationStream
+		if err := json.Unmarshal(data, &ms); err != nil {
+			return
+		}
+		shapeErr := ms.ValidateShape()
+
+		// The stream embedded in a spec must classify the same way: a
+		// malformed stream is an invalid-config error, never a panic and
+		// never an untyped failure.
+		spec := JobSpec{Kind: KindFlashWalker, Graph: "TT-S", Mutations: ms}
+		err := spec.validate()
+		if err != nil {
+			if !errors.Is(err, errs.ErrInvalidConfig) {
+				t.Fatalf("validate returned an untyped error: %v", err)
+			}
+			return
+		}
+		if shapeErr != nil && len(ms) <= maxMutations {
+			t.Fatalf("spec validated but stream shape is bad: %v", shapeErr)
+		}
+		// Shape holds: re-check the invariants validation promises.
+		prev := int64(0)
+		for i, m := range ms {
+			if m.At < prev {
+				t.Fatalf("validated stream is unsorted at %d", i)
+			}
+			prev = m.At
+			if m.Op != graph.OpInsertEdge && m.Op != graph.OpDeleteEdge {
+				t.Fatalf("validated stream kept unknown op %q", m.Op)
+			}
+			if m.Op == graph.OpDeleteEdge && m.Weight != 0 {
+				t.Fatalf("validated stream kept a weighted delete at %d", i)
 			}
 		}
 	})

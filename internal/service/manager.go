@@ -49,6 +49,11 @@ const (
 	maxWalkLength     = 1 << 20
 )
 
+// maxMutations caps the mutation-stream length a single submission may
+// carry: generous for real dynamic-graph workloads, tight enough that a
+// fuzz-decoded spec can never make validation itself expensive.
+const maxMutations = 1 << 17
+
 // Job kinds.
 const (
 	// KindFlashWalker runs the in-storage accelerator (the default).
@@ -110,6 +115,14 @@ type JobSpec struct {
 	// WalkLength is the per-walk hop budget for "deepwalk" jobs. 0 uses
 	// the harness default walk length.
 	WalkLength uint32 `json:"walk_length,omitempty"`
+	// Mutations is a deterministic, time-sorted edge insert/delete stream.
+	// FlashWalker jobs apply it strictly between simulated events (a
+	// mutation stamped T ns is visible to the first event at time >= T;
+	// at_ns == 0 applies before the run). DeepWalk jobs apply the whole
+	// stream up front — corpus generation runs on the host, with no
+	// simulated clock. The host baseline does not support mutations; a
+	// graphwalker job carrying a stream is rejected at submission.
+	Mutations graph.MutationStream `json:"mutations,omitempty"`
 }
 
 // validate is the pure half of normalize: shape checks only, no registry
@@ -157,6 +170,18 @@ func (s *JobSpec) validate() error {
 	if s.FabricMBps < 0 {
 		return fmt.Errorf("service: fabric_mbps must be non-negative: %w", errs.ErrInvalidConfig)
 	}
+	if len(s.Mutations) > maxMutations {
+		return fmt.Errorf("service: mutation stream of %d entries exceeds %d: %w",
+			len(s.Mutations), maxMutations, errs.ErrInvalidConfig)
+	}
+	if len(s.Mutations) > 0 {
+		if s.Kind == KindGraphWalker {
+			return fmt.Errorf("service: the host baseline does not support mutations: %w", errs.ErrInvalidConfig)
+		}
+		if err := s.Mutations.ValidateShape(); err != nil {
+			return fmt.Errorf("service: mutations: %v: %w", err, errs.ErrInvalidConfig)
+		}
+	}
 	if s.FaultConfig != nil && s.FaultConfig.KillBoardAt > 0 {
 		// The whole-device kill needs survivors; reject the mismatch here so
 		// it is a 400, never an async worker failure.
@@ -183,7 +208,7 @@ func (s *JobSpec) normalize(reg *Registry) error {
 	if s.MemBytes == 0 {
 		s.MemBytes = harness.GWMem8GB
 	}
-	_, ds, err := reg.Get(s.Graph)
+	g, ds, err := reg.Get(s.Graph)
 	if err != nil {
 		return err
 	}
@@ -196,6 +221,25 @@ func (s *JobSpec) normalize(reg *Registry) error {
 		}
 		if s.WalkLength == 0 {
 			s.WalkLength = harness.WalkLength
+		}
+	}
+	if len(s.Mutations) > 0 {
+		// Deep validation needs the graph, so it lives here rather than in
+		// validate: endpoint ranges, weight rules, delete-must-exist, and —
+		// for FlashWalker jobs — the partitioning's dense-vertex degree cap
+		// that keeps the frozen block skeleton valid.
+		switch s.Kind {
+		case KindDeepWalk:
+			// Host-side corpus generation has no partition skeleton to
+			// protect; only the graph-level invariants apply.
+			if err := s.Mutations.Validate(g, 0); err != nil {
+				return fmt.Errorf("service: mutations: %v: %w", err, errs.ErrInvalidConfig)
+			}
+		default:
+			pc := harness.FlashWalkerConfig(ds, core.AllOptions(), s.NumWalks, s.Seed).PartCfg
+			if err := core.ValidateMutations(g, pc, s.Mutations); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -228,6 +272,10 @@ type JobResult struct {
 	// Mapping-table query-cache outcome (FlashWalker jobs).
 	QueryCacheHits   uint64 `json:"query_cache_hits,omitempty"`
 	QueryCacheMisses uint64 `json:"query_cache_misses,omitempty"`
+	// MutationsApplied counts the mutation-stream entries applied before
+	// the run ended (FlashWalker jobs; a stream entry stamped after the
+	// simulation's end time is never applied).
+	MutationsApplied uint64 `json:"mutations_applied,omitempty"`
 	// DeepWalk corpus outcome (kind "deepwalk" only). CorpusSHA256 is the
 	// seal over the corpus text; CorpusCached marks a result served from
 	// the corpus cache without running the engine.
@@ -815,6 +863,7 @@ func (m *Manager) runDeepWalk(ctx context.Context, j *Job, g *graph.Graph) (*Job
 		Spec:           walk.Spec{Kind: walk.Unbiased, Length: j.Spec.WalkLength},
 		Seed:           j.Spec.Seed,
 		WalksPerVertex: j.Spec.WalksPerVertex,
+		MutationsHash:  j.Spec.Mutations.Hash(),
 	}
 	if m.corpora != nil {
 		if c, ok, _ := m.corpora.Get(key); ok {
@@ -824,6 +873,18 @@ func (m *Manager) runDeepWalk(ctx context.Context, j *Job, g *graph.Graph) (*Job
 	}
 
 	m.metrics.corpusEngineRuns.Add(1)
+	if len(j.Spec.Mutations) > 0 {
+		// Corpus generation runs on the host with no simulated clock, so
+		// the whole stream applies up front — on a private clone; the
+		// registry's graph is shared and immutable.
+		mg := g.Clone()
+		for _, mut := range j.Spec.Mutations {
+			if err := mg.ApplyMutation(mut); err != nil {
+				return nil, fmt.Errorf("service: mutations: %v: %w", err, errs.ErrInvalidConfig)
+			}
+		}
+		g = mg
+	}
 	starts := walk.AllStarts(g)
 	ws := walk.NewWalks(key.Spec, starts, len(starts)*j.Spec.WalksPerVertex)
 	corpus := make([][]graph.VertexID, 0, len(ws))
@@ -918,6 +979,10 @@ func (m *Manager) deepWalkResult(j *Job, c *walk.CachedCorpus, cached bool) *Job
 func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds harness.Dataset) (*JobResult, error) {
 	rc := harness.FlashWalkerConfig(ds, core.AllOptions(), j.Spec.NumWalks, j.Spec.Seed)
 	rc.CheckpointEvery = j.Spec.CheckpointEvery
+	// The mutation stream rides in the run config; snapshots carry the
+	// stream plus an applied-prefix cursor, so the recovery paths below
+	// resume mid-stream without re-threading it here.
+	rc.Mutations = j.Spec.Mutations
 	if j.Spec.FaultConfig != nil {
 		rc.Cfg.Faults = *j.Spec.FaultConfig
 	}
@@ -1040,6 +1105,7 @@ func coreJobResult(r *core.Result, err error) (*JobResult, error) {
 		Partial:          err != nil,
 		QueryCacheHits:   r.QueryCacheHits,
 		QueryCacheMisses: r.QueryCacheMisses,
+		MutationsApplied: r.MutationsApplied,
 		FaultReadErrors:  r.Faults.ReadErrors,
 		FaultRetries:     r.Faults.Retries,
 		FaultStalls:      r.Faults.PlaneBusyStalls,

@@ -161,6 +161,14 @@ type Engine struct {
 	// independent of the checkpoint interval.
 	emitEvery uint64
 	emitFn    func()
+
+	// Applier hook (SetApplier): consulted before every event executes,
+	// with that event's timestamp, strictly between events. Unlike the
+	// observer hooks it may mutate model state outside the engine (graph
+	// indexes, filters) — that is its purpose — but it must never touch the
+	// engine itself. Used to apply timestamped graph mutations exactly
+	// before the first event at or after each mutation's time.
+	applyFn func(next Time)
 }
 
 // kindFunc tags the engine-internal closure events created by At/After.
@@ -342,6 +350,22 @@ func (e *Engine) SetEmitter(every uint64, fn func()) {
 // ClearEmitter removes any installed emission hook.
 func (e *Engine) ClearEmitter() { e.emitFn = nil; e.emitEvery = 0 }
 
+// SetApplier installs a pre-event hook: during Run/RunUntil, fn is invoked
+// immediately before each event executes, with that event's timestamp —
+// never mid-event. This gives external timestamped state changes (graph
+// mutations) an exact visibility rule: a change stamped T is applied before
+// the first event at time >= T and is invisible to every event before it.
+// Passing fn == nil clears the hook.
+//
+// fn may mutate model state outside the engine, but it must not schedule
+// events, advance the clock, or otherwise touch the engine: the drain order
+// is decided before fn runs, so a hook that never changes external state is
+// indistinguishable from no hook at all — timelines stay bit-identical.
+func (e *Engine) SetApplier(fn func(next Time)) { e.applyFn = fn }
+
+// ClearApplier removes any installed applier hook.
+func (e *Engine) ClearApplier() { e.applyFn = nil }
+
 // emit consults the emission hook if one is due.
 func (e *Engine) emit() {
 	if e.emitFn != nil && e.processed%e.emitEvery == 0 {
@@ -383,7 +407,13 @@ func (e *Engine) Step() bool {
 // drain), returning the final time.
 func (e *Engine) Run() Time {
 	e.halted = false
-	for e.Step() {
+	for {
+		if e.applyFn != nil && e.Pending() > 0 {
+			e.applyFn(e.nextTime())
+		}
+		if !e.Step() {
+			break
+		}
 		e.emit()
 		if e.checkpoint() {
 			break
@@ -398,7 +428,14 @@ func (e *Engine) Run() Time {
 // last event put it (the deadline advance is skipped).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
-	for e.Pending() > 0 && e.nextTime() <= deadline {
+	for e.Pending() > 0 {
+		next := e.nextTime()
+		if next > deadline {
+			break
+		}
+		if e.applyFn != nil {
+			e.applyFn(next)
+		}
 		e.Step()
 		e.emit()
 		if e.checkpoint() {

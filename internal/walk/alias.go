@@ -124,6 +124,29 @@ func NewGraphAlias(g *graph.Graph) (*GraphAlias, error) {
 	return ga, nil
 }
 
+// RebuildVertex recomputes v's alias table from its current out-weights —
+// the incremental maintenance hook for graph mutations. A table is a pure
+// function of one vertex's weight vector, so rebuilding only the mutated
+// vertex leaves the whole structure identical to NewGraphAlias over the
+// mutated graph.
+func (ga *GraphAlias) RebuildVertex(g *graph.Graph, v graph.VertexID) error {
+	if t := ga.tables[v]; t != nil {
+		ga.bytes -= t.SizeBytes()
+		ga.tables[v] = nil
+	}
+	w := g.OutWeights(v)
+	if len(w) == 0 {
+		return nil
+	}
+	t, err := NewAliasTable(w)
+	if err != nil {
+		return fmt.Errorf("walk: vertex %d: %w", v, err)
+	}
+	ga.tables[v] = t
+	ga.bytes += t.SizeBytes()
+	return nil
+}
+
 // ChooseEdge samples an out-edge index of v in O(1). v must have
 // out-edges.
 func (ga *GraphAlias) ChooseEdge(r *rng.RNG, v graph.VertexID) uint64 {

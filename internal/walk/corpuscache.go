@@ -32,6 +32,12 @@ type CorpusKey struct {
 	// WalksPerVertex pins the start set: corpora start WalksPerVertex
 	// walks from every vertex (AllStarts order).
 	WalksPerVertex int
+	// MutationsHash is graph.MutationStream.Hash() over the job's mutation
+	// stream: a corpus generated on a mutated graph must never be served
+	// for an unmutated job (or a differently mutated one) and vice versa.
+	// The empty stream hashes to the zero array, so mutation-free keys are
+	// identical to keys minted before this field existed.
+	MutationsHash [sha256.Size]byte
 }
 
 // CachedCorpus is one sealed cache entry.

@@ -83,6 +83,43 @@ func TestCorpusCacheRefusesBrokenSeal(t *testing.T) {
 	}
 }
 
+// TestCorpusCacheMutationHashKeys is the regression test for the key bug
+// where a corpus generated on a mutated graph could be served for an
+// unmutated job (and vice versa): the mutation-stream hash is part of the
+// key, so jobs differing only in their stream select distinct entries,
+// while a mutation-free job's key is byte-identical to a pre-field key.
+func TestCorpusCacheMutationHashKeys(t *testing.T) {
+	cc := NewCorpusCache(4)
+	plain := testCorpusEntry(t, "ring", 1)
+	ms := graph.MutationStream{{Op: graph.OpInsertEdge, Src: 0, Dst: 2}}
+
+	mutated := *plain
+	mutated.Key.MutationsHash = ms.Hash()
+	cc.Put(plain)
+	cc.Put(&mutated)
+	if cc.Len() != 2 {
+		t.Fatalf("mutated and plain corpora collapsed to %d entries, want 2", cc.Len())
+	}
+
+	// A mutation-free job must still hit the entry sealed before the field
+	// existed: the empty stream hashes to the zero array.
+	key := plain.Key
+	key.MutationsHash = graph.MutationStream{}.Hash()
+	if _, ok, err := cc.Get(key); !ok || err != nil {
+		t.Fatalf("zero-stream key missed the mutation-free entry (ok=%v err=%v)", ok, err)
+	}
+	// And the mutated job must get the mutated corpus, not the plain one.
+	if got, ok, _ := cc.Get(mutated.Key); !ok || got.Key.MutationsHash != ms.Hash() {
+		t.Fatalf("mutated-stream key did not select the mutated entry (ok=%v)", ok)
+	}
+	// A different stream is a different key — must miss.
+	other := plain.Key
+	other.MutationsHash = graph.MutationStream{{Op: graph.OpDeleteEdge, Src: 0, Dst: 1}}.Hash()
+	if _, ok, _ := cc.Get(other); ok {
+		t.Fatal("a differently mutated job hit another stream's corpus")
+	}
+}
+
 func TestCorpusCacheLRUEviction(t *testing.T) {
 	cc := NewCorpusCache(2)
 	a := testCorpusEntry(t, "a", 1)
