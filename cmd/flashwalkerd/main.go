@@ -5,16 +5,28 @@
 // Usage:
 //
 //	flashwalkerd [-addr :8080] [-workers 2] [-queue 16] [-state-dir DIR]
+//	             [-store fs|mem|http://...] [-snap-deltas 4]
+//	             [-retain-jobs 0] [-retain-age 0] [-max-body-bytes 4194304]
 //	             [-corpus-cache 16] [-tenant-max-queued 0]
 //	             [-tenant-max-running 0] [-tenant-rate 0] [-tenant-burst 1]
 //	             [-stream-ring 4096]
 //
-// With -state-dir, jobs are durable: specs are journaled at submission,
-// running engines checkpoint to snapshot files at their checkpoint_every
-// cadence, and a restarted daemon recovers the journal — finished jobs as
-// history, unfinished ones re-enqueued and resumed from their last
-// snapshot. A SIGKILLed daemon restarted on the same state directory
-// finishes its jobs with results identical to an uninterrupted run.
+// With a durable store, jobs are durable: specs are journaled at
+// submission, running engines checkpoint to snapshot objects at their
+// checkpoint_every cadence (a full snapshot every -snap-deltas+1 cuts,
+// delta snapshots in between), and a restarted daemon recovers the
+// journal — finished jobs as history, unfinished ones re-enqueued and
+// resumed from their last snapshot. A SIGKILLed daemon restarted on the
+// same store finishes its jobs with results identical to an
+// uninterrupted run.
+//
+// The store backend is picked by -store: "fs" (the default) keeps the
+// PR-9 on-disk layout under -state-dir; "mem" holds durable state in
+// process memory (useful for tests — state does not survive the
+// process); an http:// or https:// URL targets an S3-style object
+// server speaking GET/PUT/POST/DELETE on keys plus GET /?prefix= for
+// listing (see internal/blob). -retain-jobs / -retain-age bound how
+// much terminal job state the store accumulates.
 //
 // Endpoints (see internal/service):
 //
@@ -46,9 +58,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"flashwalker/internal/blob"
 	"flashwalker/internal/service"
 )
 
@@ -57,6 +71,16 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent jobs")
 	queue := flag.Int("queue", 16, "bounded job queue depth")
 	stateDir := flag.String("state-dir", "", "durable job state directory (empty: in-memory only)")
+	storeKind := flag.String("store", "fs",
+		"durable store backend: fs (files under -state-dir), mem, or an http(s):// object-store base URL")
+	snapDeltas := flag.Int("snap-deltas", 0,
+		"delta snapshots between full snapshots (0: default 4, negative: full snapshots only)")
+	retainJobs := flag.Int("retain-jobs", 0,
+		"terminal jobs to retain in the durable store (0: unlimited)")
+	retainAge := flag.Duration("retain-age", 0,
+		"max age of terminal job state in the durable store (0: unlimited)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0,
+		"request body size cap for POST endpoints (0: default 4 MiB)")
 	corpusCache := flag.Int("corpus-cache", 0,
 		"precomputed walk-corpus cache entries for deepwalk jobs (0: default 16, negative: disabled)")
 	tenantMaxQueued := flag.Int("tenant-max-queued", 0,
@@ -73,12 +97,33 @@ func main() {
 
 	cfg := service.Config{
 		Workers: *workers, QueueDepth: *queue, StateDir: *stateDir,
+		SnapshotDeltas:     *snapDeltas,
+		RetainJobs:         *retainJobs,
+		RetainAge:          *retainAge,
+		MaxBodyBytes:       *maxBodyBytes,
 		CorpusCacheEntries: *corpusCache,
 		TenantMaxQueued:    *tenantMaxQueued,
 		TenantMaxRunning:   *tenantMaxRunning,
 		TenantRatePerSec:   *tenantRate,
 		TenantRateBurst:    *tenantBurst,
 		StreamRingWalks:    *streamRing,
+	}
+	switch {
+	case *storeKind == "fs" || *storeKind == "":
+		// Manager wraps StateDir in the FS store itself (empty: no
+		// durability), preserving the PR-9 on-disk layout.
+	case *storeKind == "mem":
+		cfg.Store = blob.NewMem()
+	case strings.HasPrefix(*storeKind, "http://") || strings.HasPrefix(*storeKind, "https://"):
+		st, err := blob.NewHTTP(*storeKind, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flashwalkerd:", err)
+			os.Exit(2)
+		}
+		cfg.Store = st
+	default:
+		fmt.Fprintf(os.Stderr, "flashwalkerd: bad -store %q (want fs, mem, or an http(s):// URL)\n", *storeKind)
+		os.Exit(2)
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "flashwalkerd:", err)
@@ -100,6 +145,12 @@ func run(addr string, cfg service.Config) error {
 		Addr:              addr,
 		Handler:           service.NewHandler(m),
 		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds slow request bodies; the stream handler clears
+		// its per-request deadline, so long-lived streams are unaffected.
+		ReadTimeout: 30 * time.Second,
+		IdleTimeout: 2 * time.Minute,
+		// WriteTimeout stays 0: it cannot be cleared per request, and any
+		// value would sever healthy long-lived NDJSON streams mid-flight.
 	}
 
 	errc := make(chan error, 1)

@@ -1,0 +1,142 @@
+package blob
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// HTTP is an object-store client speaking S3-style verbs against a bucket
+// base URL:
+//
+//	PUT    <base>/<key>           store a blob (atomic on the server)
+//	GET    <base>/<key>           fetch a blob (404 -> ErrNotFound)
+//	POST   <base>/<key>           append to a blob, creating it if absent
+//	DELETE <base>/<key>           remove a blob (absent is fine)
+//	GET    <base>/?prefix=<p>     list keys as a JSON string array
+//
+// POST-as-append and the list endpoint are the two extensions beyond plain
+// S3 semantics; Handler in this package serves the full dialect, so the
+// client is exercised against a real implementation in tests (httptest)
+// and any process can host a store with a one-line mux registration.
+type HTTP struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTP returns a client for the store at baseURL ("http://host:port" or
+// "http://host:port/bucket"). A nil client uses a default with a 30s
+// request timeout — durability writes must fail fast, not wedge a job.
+func NewHTTP(baseURL string, client *http.Client) (*HTTP, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("blob: http store url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("blob: http store url %q: scheme must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("blob: http store url %q has no host", baseURL)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTP{base: strings.TrimRight(baseURL, "/"), client: client}, nil
+}
+
+func (h *HTTP) do(method, key string, body []byte) (*http.Response, error) {
+	if err := ValidKey(key); err != nil {
+		return nil, err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, h.base+"/"+key, rd)
+	if err != nil {
+		return nil, err
+	}
+	return h.client.Do(req)
+}
+
+// fail drains the response into a bounded error message.
+func fail(op, key string, resp *http.Response) error {
+	snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	return fmt.Errorf("blob: %s %s: %s: %s", op, key, resp.Status, strings.TrimSpace(string(snippet)))
+}
+
+func (h *HTTP) Put(key string, data []byte) error {
+	resp, err := h.do(http.MethodPut, key, data)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fail("put", key, resp)
+	}
+	return nil
+}
+
+func (h *HTTP) Get(key string) ([]byte, error) {
+	resp, err := h.do(http.MethodGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fail("get", key, resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (h *HTTP) Append(key string, data []byte) error {
+	resp, err := h.do(http.MethodPost, key, data)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fail("append", key, resp)
+	}
+	return nil
+}
+
+func (h *HTTP) Delete(key string) error {
+	resp, err := h.do(http.MethodDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
+		return fail("delete", key, resp)
+	}
+	return nil
+}
+
+func (h *HTTP) List(prefix string) ([]string, error) {
+	req, err := http.NewRequest(http.MethodGet, h.base+"/?prefix="+url.QueryEscape(prefix), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, fail("list", prefix, resp)
+	}
+	var keys []string
+	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
+		return nil, fmt.Errorf("blob: list %s: decoding key list: %w", prefix, err)
+	}
+	return keys, nil
+}

@@ -1,0 +1,80 @@
+package blob
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mem is the in-memory Store: a mutex-guarded map, used by tests and by
+// `flashwalkerd -store mem` (durability semantics without disk — state
+// lives exactly as long as the process).
+type Mem struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{m: map[string][]byte{}}
+}
+
+func (s *Mem) Put(key string, data []byte) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.m[key] = append([]byte(nil), data...)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Mem) Get(key string) ([]byte, error) {
+	if err := ValidKey(key); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	data, ok := s.m[key]
+	if ok {
+		data = append([]byte(nil), data...)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return data, nil
+}
+
+func (s *Mem) Append(key string, data []byte) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.m[key] = append(s.m[key], data...)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Mem) Delete(key string) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Mem) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	var keys []string
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys, nil
+}

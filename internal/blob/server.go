@@ -1,0 +1,83 @@
+package blob
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// maxObjectBytes bounds one uploaded object. Engine snapshots for the
+// simulated workloads are well under this; the cap exists so a buggy or
+// hostile client cannot make the server buffer unbounded bodies.
+const maxObjectBytes = 1 << 30
+
+// Handler serves store over HTTP in the dialect the HTTP client speaks:
+// PUT/GET/DELETE on /<key>, POST appends, GET /?prefix= lists. It is the
+// httptest fake behind the client's tests and a minimal standalone object
+// store — mount it under a bucket path with http.StripPrefix.
+func Handler(store Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/")
+		if key == "" {
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			keys, err := store.List(r.URL.Query().Get("prefix"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if keys == nil {
+				keys = []string{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(keys)
+			return
+		}
+		if err := ValidKey(key); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			data, err := store.Get(key)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					http.Error(w, err.Error(), http.StatusNotFound)
+				} else {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(data)
+		case http.MethodPut, http.MethodPost:
+			data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxObjectBytes))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+				return
+			}
+			if r.Method == http.MethodPut {
+				err = store.Put(key, data)
+			} else {
+				err = store.Append(key, data)
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			if err := store.Delete(key); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Delta snapshots. A full engine Snapshot is dominated by the per-block
+// walk stores (PWB/FLS) and the per-partition pending stores — and between
+// two consecutive checkpoint cuts only the stores the scheduler actually
+// touched change. A SnapshotDelta carries the full scalar state (cheap)
+// plus only the dirtied store slices, chained to the exact container it
+// diffs against by that container's SHA-256 seal. Deltas are a storage-
+// layer construct: resume reconstructs the full image with ApplyDelta and
+// hands it to the unchanged ResumeEngine path, so the engine's restore
+// logic and its bit-identical-resume invariant are untouched.
+
+// SnapshotDelta is the difference between two consecutive snapshot cuts of
+// the same run.
+type SnapshotDelta struct {
+	// BaseSHA is the container seal (snapshot.Seal) of the encoded image
+	// this delta chains to: the preceding full snapshot container or the
+	// preceding delta container. Application verifies it, so a delta can
+	// never be applied to the wrong base.
+	BaseSHA [32]byte
+	// Chain is this delta's 1-based position in the chain since the last
+	// full snapshot.
+	Chain int
+	// Body is the cut's complete snapshot minus the big store slices
+	// (PWB, FLS, PendingMem, PendingFlash are nil'd out).
+	Body Snapshot
+	// Blocks lists the dirtied block indices; PWB[i] and FLS[i] are block
+	// Blocks[i]'s stores at the cut.
+	Blocks []int
+	PWB    [][]WalkState
+	FLS    [][]WalkState
+	// Parts lists the dirtied partition indices; PendingMem[i] and
+	// PendingFlash[i] are partition Parts[i]'s stores at the cut.
+	Parts        []int
+	PendingMem   [][]WalkState
+	PendingFlash [][]WalkState
+}
+
+// DiffSnapshot builds the delta from base to cur, chained to the encoded
+// base image's seal. Store slices are shared with cur, not copied:
+// snapshots are built fresh per cut and treated as immutable afterwards.
+func DiffSnapshot(base, cur *Snapshot, baseSHA [32]byte, chain int) *SnapshotDelta {
+	d := &SnapshotDelta{BaseSHA: baseSHA, Chain: chain, Body: *cur}
+	d.Body.PWB, d.Body.FLS = nil, nil
+	d.Body.PendingMem, d.Body.PendingFlash = nil, nil
+	for b := range cur.PWB {
+		if b < len(base.PWB) && b < len(base.FLS) &&
+			slices.Equal(base.PWB[b], cur.PWB[b]) && slices.Equal(base.FLS[b], cur.FLS[b]) {
+			continue
+		}
+		d.Blocks = append(d.Blocks, b)
+		d.PWB = append(d.PWB, cur.PWB[b])
+		d.FLS = append(d.FLS, cur.FLS[b])
+	}
+	for p := range cur.PendingMem {
+		if p < len(base.PendingMem) && p < len(base.PendingFlash) &&
+			slices.Equal(base.PendingMem[p], cur.PendingMem[p]) &&
+			slices.Equal(base.PendingFlash[p], cur.PendingFlash[p]) {
+			continue
+		}
+		d.Parts = append(d.Parts, p)
+		d.PendingMem = append(d.PendingMem, cur.PendingMem[p])
+		d.PendingFlash = append(d.PendingFlash, cur.PendingFlash[p])
+	}
+	return d
+}
+
+// ApplyDelta reconstructs the full snapshot a delta describes: the delta's
+// body plus the base's store slices with the dirtied entries replaced.
+// Clean stores are shared with base (snapshots are immutable), so chain
+// application allocates only the per-cut bookkeeping. The caller verifies
+// BaseSHA against the actual base container before calling.
+func ApplyDelta(base *Snapshot, d *SnapshotDelta) (*Snapshot, error) {
+	if base == nil || d == nil {
+		return nil, fmt.Errorf("core: apply delta: nil base or delta")
+	}
+	nb := len(d.Body.PWBBytes)
+	np := len(d.Body.FlushMark)
+	if len(base.PWB) != nb || len(base.FLS) != nb {
+		return nil, fmt.Errorf("core: delta sized for %d blocks, base has %d", nb, len(base.PWB))
+	}
+	if len(base.PendingMem) != np || len(base.PendingFlash) != np {
+		return nil, fmt.Errorf("core: delta sized for %d partitions, base has %d", np, len(base.PendingMem))
+	}
+	if len(d.PWB) != len(d.Blocks) || len(d.FLS) != len(d.Blocks) {
+		return nil, fmt.Errorf("core: delta block stores (%d/%d) disagree with index list (%d)",
+			len(d.PWB), len(d.FLS), len(d.Blocks))
+	}
+	if len(d.PendingMem) != len(d.Parts) || len(d.PendingFlash) != len(d.Parts) {
+		return nil, fmt.Errorf("core: delta partition stores (%d/%d) disagree with index list (%d)",
+			len(d.PendingMem), len(d.PendingFlash), len(d.Parts))
+	}
+	full := d.Body
+	full.PWB = append([][]WalkState(nil), base.PWB...)
+	full.FLS = append([][]WalkState(nil), base.FLS...)
+	for i, b := range d.Blocks {
+		if b < 0 || b >= nb {
+			return nil, fmt.Errorf("core: delta block index %d outside [0, %d)", b, nb)
+		}
+		full.PWB[b] = d.PWB[i]
+		full.FLS[b] = d.FLS[i]
+	}
+	full.PendingMem = append([][]WalkState(nil), base.PendingMem...)
+	full.PendingFlash = append([][]WalkState(nil), base.PendingFlash...)
+	for i, p := range d.Parts {
+		if p < 0 || p >= np {
+			return nil, fmt.Errorf("core: delta partition index %d outside [0, %d)", p, np)
+		}
+		full.PendingMem[p] = d.PendingMem[i]
+		full.PendingFlash[p] = d.PendingFlash[i]
+	}
+	return &full, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotDeltaSelf pins two delta-layer basics: diffing a snapshot
+// against itself dirties nothing, and applying that empty delta
+// reconstructs the identical image (clean stores shared with the base).
+func TestSnapshotDeltaSelf(t *testing.T) {
+	g := testGraph(t)
+	s := interruptCore(t, g, goldenConfig(), 2)
+
+	var sha [32]byte
+	d := DiffSnapshot(s, s, sha, 1)
+	if len(d.Blocks) != 0 || len(d.Parts) != 0 {
+		t.Fatalf("self-diff dirtied %d blocks and %d partitions, want none", len(d.Blocks), len(d.Parts))
+	}
+	if d.Chain != 1 {
+		t.Fatalf("Chain = %d, want 1", d.Chain)
+	}
+	full, err := ApplyDelta(s, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if !reflect.DeepEqual(s, full) {
+		t.Fatal("empty delta did not reconstruct the identical snapshot")
+	}
+}
+
+// TestApplyDeltaRejectsMismatch guards the shape checks: a delta built for
+// one layout must not silently apply to a base with a different one.
+func TestApplyDeltaRejectsMismatch(t *testing.T) {
+	g := testGraph(t)
+	s := interruptCore(t, g, goldenConfig(), 1)
+
+	if _, err := ApplyDelta(nil, &SnapshotDelta{}); err == nil {
+		t.Fatal("ApplyDelta accepted a nil base")
+	}
+	if _, err := ApplyDelta(s, nil); err == nil {
+		t.Fatal("ApplyDelta accepted a nil delta")
+	}
+
+	d := DiffSnapshot(s, s, [32]byte{}, 1)
+	short := *s
+	short.PWB = short.PWB[:len(short.PWB)-1]
+	if _, err := ApplyDelta(&short, d); err == nil || !strings.Contains(err.Error(), "blocks") {
+		t.Fatalf("ApplyDelta over mis-sized base: %v, want block-count error", err)
+	}
+
+	bad := *d
+	bad.Blocks = []int{len(s.PWB)} // out of range
+	bad.PWB = [][]WalkState{nil}
+	bad.FLS = [][]WalkState{nil}
+	if _, err := ApplyDelta(s, &bad); err == nil {
+		t.Fatal("ApplyDelta accepted an out-of-range block index")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"flashwalker/internal/errs"
 )
@@ -19,6 +20,9 @@ var (
 	// ErrBadRequest reports a malformed request (undecodable body, bad
 	// query parameter).
 	ErrBadRequest = errors.New("bad request")
+	// ErrBodyTooLarge reports a request body over the configured cap
+	// (Config.MaxBodyBytes).
+	ErrBodyTooLarge = errors.New("request body too large")
 )
 
 // The v1 error contract: every handler answers failures with one JSON
@@ -44,6 +48,9 @@ var errorTable = []struct {
 	{ErrNoCorpus, http.StatusNotFound, "no_corpus"},
 	{ErrNoStream, http.StatusConflict, "stream_unsupported"},
 	{ErrStreamEvicted, http.StatusGone, "stream_evicted"},
+	// Before bad_request: an oversized body is a decode failure too, and
+	// the specific code must win.
+	{ErrBodyTooLarge, http.StatusRequestEntityTooLarge, "body_too_large"},
 	{errs.ErrInvalidConfig, http.StatusBadRequest, "invalid_config"},
 	{ErrBadRequest, http.StatusBadRequest, "bad_request"},
 }
@@ -103,10 +110,26 @@ type jobsPage struct {
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
+	// decodeBody decodes a JSON request body under the configured size
+	// cap. Oversized bodies map to the stable body_too_large code rather
+	// than a generic decode failure.
+	decodeBody := func(w http.ResponseWriter, r *http.Request, what string, v any) error {
+		body := http.MaxBytesReader(w, r.Body, m.maxBodyBytes)
+		if err := json.NewDecoder(body).Decode(v); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				return fmt.Errorf("service: %s exceeds the %d-byte request cap: %w",
+					what, tooBig.Limit, ErrBodyTooLarge)
+			}
+			return fmt.Errorf("service: decoding %s: %v: %w", what, err, ErrBadRequest)
+		}
+		return nil
+	}
+
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeError(w, fmt.Errorf("service: decoding job spec: %v: %w", err, ErrBadRequest), "")
+		if err := decodeBody(w, r, "job spec", &spec); err != nil {
+			writeError(w, err, "")
 			return
 		}
 		j, err := m.Submit(spec)
@@ -193,6 +216,11 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		defer rd.detach()
 
+		// The stream is long-lived: clear the per-request read deadline the
+		// server armed from ReadTimeout, or it would sever a healthy stream
+		// once the deadline lapses.
+		_ = http.NewResponseController(w).SetReadDeadline(time.Time{})
+
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		fl, _ := w.(http.Flusher)
@@ -246,8 +274,8 @@ func NewHandler(m *Manager) http.Handler {
 			Name string `json:"name"`
 			Path string `json:"path"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, fmt.Errorf("service: decoding graph request: %v: %w", err, ErrBadRequest), "")
+		if err := decodeBody(w, r, "graph request", &req); err != nil {
+			writeError(w, err, "")
 			return
 		}
 		gi, err := m.Registry().Load(req.Name, req.Path)

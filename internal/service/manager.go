@@ -5,20 +5,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"flashwalker/internal/baseline"
+	"flashwalker/internal/blob"
 	"flashwalker/internal/core"
 	"flashwalker/internal/errs"
 	"flashwalker/internal/fault"
 	"flashwalker/internal/graph"
 	"flashwalker/internal/harness"
 	"flashwalker/internal/sim"
-	"flashwalker/internal/snapshot"
 	"flashwalker/internal/walk"
 )
 
@@ -312,6 +310,10 @@ type Job struct {
 
 	progress atomic.Pointer[Progress]
 
+	// persistLogged latches the job's first durability-write failure so
+	// degradation is logged once per job, not per checkpoint.
+	persistLogged atomic.Bool
+
 	mu       sync.Mutex
 	state    string
 	err      error
@@ -394,8 +396,32 @@ type Config struct {
 	// submission, running engines snapshot at their checkpoint cadence, and
 	// a restarted manager recovers the journal — finished jobs as history,
 	// unfinished ones re-enqueued and resumed. Empty keeps the manager
-	// fully in-memory.
+	// fully in-memory. StateDir is shorthand for Store = blob.NewFS(dir);
+	// the on-disk layout is byte-compatible with earlier versions.
 	StateDir string
+	// Store routes ALL durable state — job journals, engine snapshots, and
+	// stream spools — through a pluggable blob store. Takes precedence over
+	// StateDir when both are set. Nil with an empty StateDir keeps the
+	// manager fully in-memory.
+	Store blob.Store
+	// SnapshotDeltas is the checkpoint chain length for single-board
+	// FlashWalker jobs: after each full snapshot container, up to this
+	// many delta containers (each carrying only the walk stores dirtied
+	// since the previous cut) before the next full cut. 0 uses the default
+	// (4); negative disables deltas — every cut writes a full snapshot.
+	SnapshotDeltas int
+	// RetainJobs keeps at most this many terminal jobs' durable state
+	// (journal + spool); older terminal jobs are pruned at startup and on
+	// finish, oldest-first. 0 retains everything. Non-terminal jobs are
+	// never pruned.
+	RetainJobs int
+	// RetainAge prunes terminal jobs that finished longer than this ago.
+	// 0 disables the age bound.
+	RetainAge time.Duration
+	// MaxBodyBytes caps request bodies on the mutating v1 endpoints
+	// (POST /v1/jobs, POST /v1/graphs); oversized bodies are rejected with
+	// the stable "body_too_large" error code. 0 uses the default (4 MiB).
+	MaxBodyBytes int64
 	// CorpusCacheEntries bounds the precomputed walk-corpus cache serving
 	// repeat "deepwalk" jobs. 0 uses the default (16); negative disables
 	// caching entirely.
@@ -422,13 +448,23 @@ type Config struct {
 // leaves it unset.
 const defaultCorpusCacheEntries = 16
 
+// defaultMaxBodyBytes caps v1 request bodies when Config.MaxBodyBytes is
+// zero. Job specs with the largest allowed mutation stream still fit.
+const defaultMaxBodyBytes = 4 << 20
+
 // Manager owns the job queue and worker pool.
 type Manager struct {
-	reg      *Registry
-	baseCtx  context.Context
-	stop     context.CancelFunc
-	wg       sync.WaitGroup
-	stateDir string
+	reg     *Registry
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	// store is the durable-state backend; nil keeps the manager fully
+	// in-memory.
+	store          blob.Store
+	snapshotDeltas int
+	retainJobs     int
+	retainAge      time.Duration
+	maxBodyBytes   int64
 
 	// Admission settings (immutable after NewManager).
 	tenantMaxQueued  int
@@ -471,13 +507,36 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 	if cfg.TenantRateBurst <= 0 {
 		cfg.TenantRateBurst = 1
 	}
+	store := cfg.Store
+	if store == nil && cfg.StateDir != "" {
+		fsStore, err := blob.NewFS(cfg.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: state dir: %w", err)
+		}
+		store = fsStore
+	}
+	deltas := cfg.SnapshotDeltas
+	switch {
+	case deltas == 0:
+		deltas = defaultSnapshotDeltas
+	case deltas < 0:
+		deltas = 0
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = defaultMaxBodyBytes
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		reg:      reg,
-		baseCtx:  ctx,
-		stop:     stop,
-		jobs:     map[string]*Job{},
-		stateDir: cfg.StateDir,
+		reg:            reg,
+		baseCtx:        ctx,
+		stop:           stop,
+		jobs:           map[string]*Job{},
+		store:          store,
+		snapshotDeltas: deltas,
+		retainJobs:     cfg.RetainJobs,
+		retainAge:      cfg.RetainAge,
+		maxBodyBytes:   maxBody,
 
 		tenantMaxQueued:  cfg.TenantMaxQueued,
 		tenantMaxRunning: cfg.TenantMaxRunning,
@@ -496,13 +555,7 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 		m.corpora = walk.NewCorpusCache(n)
 	}
 	var pending []*Job
-	if m.stateDir != "" {
-		for _, sub := range []string{"jobs", "snapshots", "streams"} {
-			if err := os.MkdirAll(filepath.Join(m.stateDir, sub), 0o755); err != nil {
-				stop()
-				return nil, fmt.Errorf("service: state dir: %w", err)
-			}
-		}
+	if m.store != nil {
 		var err error
 		if pending, err = m.recoverJobs(); err != nil {
 			stop()
@@ -537,6 +590,9 @@ func NewManager(reg *Registry, cfg Config) (*Manager, error) {
 			}
 		}
 	}
+	// Retention runs after recovery so the startup prune sees the full
+	// terminal set, and before the workers so nothing races the sweep.
+	m.pruneTerminal()
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -557,9 +613,12 @@ func (m *Manager) newStreamFor(j *Job) {
 		return
 	}
 	var sp *spoolFile
-	if m.stateDir != "" {
-		if s, err := openSpool(m.streamPath(j.ID)); err == nil {
+	if m.store != nil {
+		onErr := func(err error) { m.persistError(j, persistKindSpool, err) }
+		if s, err := openSpool(m.store, streamKey(j.ID), onErr); err == nil {
 			sp = s
+		} else {
+			m.persistError(j, persistKindSpool, err)
 		}
 	}
 	j.stream = newJobStream(m.streamRing, sp)
@@ -1009,37 +1068,30 @@ func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 	if j.Spec.Boards > 1 {
 		return m.runFlashWalkerArray(ctx, j, g, rc)
 	}
-	if m.stateDir != "" {
-		snapPath := m.snapshotPath(j.ID)
+	if m.store != nil {
 		// Snapshots piggyback on the checkpoint observer every
-		// snapshotCheckpointRatio checkpoints, and serializing the full
-		// engine image is further throttled to at most one write per
-		// snapshotMinInterval of wall time so short checkpoint intervals
-		// don't turn the job into an fsync loop.
+		// snapshotCheckpointRatio checkpoints; the chain writer throttles
+		// serialization and alternates full and delta containers.
 		every := j.Spec.CheckpointEvery
 		if every == 0 {
 			every = core.DefaultCheckpointEvery
 		}
-		var lastWrite time.Time
-		onSnap := func(s *core.Snapshot) {
-			if time.Since(lastWrite) < snapshotMinInterval {
-				return
-			}
-			lastWrite = time.Now()
-			_ = snapshot.WriteFile(snapPath, snapKindCore, s)
-		}
-		// A recovered job picks up from its last snapshot; a fresh job (or
-		// one whose snapshot is unreadable) runs from the start and begins
-		// writing snapshots at the checkpoint cadence.
-		var snap core.Snapshot
-		if snapshot.ReadFile(snapPath, snapKindCore, &snap) == nil {
-			r, err := core.ResumeContext(ctx, g, &snap, core.ResumeOptions{
-				OnProgress: rc.OnProgress, OnSnapshot: onSnap, OnWalks: rc.OnWalks,
+		w := &coreSnapWriter{m: m, j: j, maxDeltas: m.snapshotDeltas}
+		// A recovered job picks up from its last consistent chain image; a
+		// fresh job (or one whose snapshot is unreadable) runs from the
+		// start and begins writing snapshots at the checkpoint cadence.
+		if snap, sha, chain, ok := m.loadCoreSnap(j.ID); ok {
+			// The writer continues the stored chain exactly where the image
+			// came from, so the next cut extends (or overwrites the invalid
+			// suffix of) what is already in the store.
+			w.base, w.baseSHA, w.deltas = snap, sha, chain
+			r, err := core.ResumeContext(ctx, g, snap, core.ResumeOptions{
+				OnProgress: rc.OnProgress, OnSnapshot: w.write, OnWalks: rc.OnWalks,
 				SnapshotEvery: every * snapshotCheckpointRatio, CheckpointEvery: j.Spec.CheckpointEvery,
 			})
 			return coreJobResult(r, err)
 		}
-		rc.OnSnapshot = onSnap
+		rc.OnSnapshot = w.write
 		rc.SnapshotEvery = every * snapshotCheckpointRatio
 	}
 	e, err := core.NewEngine(g, rc)
@@ -1055,22 +1107,24 @@ func (m *Manager) runFlashWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 // recovered job from its last image), with the array's fleet-wide snapshot
 // under its own kind tag.
 func (m *Manager) runFlashWalkerArray(ctx context.Context, j *Job, g *graph.Graph, rc core.RunConfig) (*JobResult, error) {
-	if m.stateDir != "" {
-		snapPath := m.snapshotPath(j.ID)
+	if m.store != nil {
 		every := j.Spec.CheckpointEvery
 		if every == 0 {
 			every = core.DefaultCheckpointEvery
 		}
+		// Array jobs keep full-image snapshots: the fleet-wide image spans
+		// every board's stores, so the single-board delta chain does not
+		// apply (a scope bound documented in DESIGN.md §15).
 		var lastWrite time.Time
 		onSnap := func(s *core.ArraySnapshot) {
 			if time.Since(lastWrite) < snapshotMinInterval {
 				return
 			}
 			lastWrite = time.Now()
-			_ = snapshot.WriteFile(snapPath, snapKindArray, s)
+			m.putSnap(j, snapshotKey(j.ID), snapKindArray, s)
 		}
 		var snap core.ArraySnapshot
-		if snapshot.ReadFile(snapPath, snapKindArray, &snap) == nil {
+		if _, err := m.getSnap(snapshotKey(j.ID), snapKindArray, &snap); err == nil {
 			r, err := core.ResumeArrayContext(ctx, g, &snap, core.ArrayResumeOptions{
 				OnProgress: rc.OnProgress, OnSnapshot: onSnap, OnWalks: rc.OnWalks,
 				SnapshotEvery: every * snapshotCheckpointRatio, CheckpointEvery: j.Spec.CheckpointEvery,
@@ -1127,11 +1181,11 @@ func (m *Manager) runGraphWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 		})
 	}
 	spec := walk.Spec{Kind: walk.Unbiased, Length: harness.WalkLength}
-	if m.stateDir != "" {
+	if m.store != nil {
 		// The baseline's snapshot is a replay record; recovery re-runs the
 		// job from event zero, which is result-identical.
 		var snap baseline.Snapshot
-		if snapshot.ReadFile(m.snapshotPath(j.ID), snapKindBaseline, &snap) == nil {
+		if _, err := m.getSnap(snapshotKey(j.ID), snapKindBaseline, &snap); err == nil {
 			r, err := baseline.ResumeContext(ctx, g, &snap, cfg.OnProgress)
 			return baselineJobResult(r, err)
 		}
@@ -1140,8 +1194,8 @@ func (m *Manager) runGraphWalker(ctx context.Context, j *Job, g *graph.Graph, ds
 	if err != nil {
 		return nil, err
 	}
-	if m.stateDir != "" {
-		_ = snapshot.WriteFile(m.snapshotPath(j.ID), snapKindBaseline, e.Snapshot())
+	if m.store != nil {
+		m.putSnap(j, snapshotKey(j.ID), snapKindBaseline, e.Snapshot())
 	}
 	r, err := e.RunContext(ctx)
 	return baselineJobResult(r, err)
@@ -1198,7 +1252,7 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 		}
 		j.stream.finish(state, msg)
 	}
-	m.dropSnapshot(j.ID)
+	m.dropSnapshot(j)
 
 	j.mu.Lock()
 	j.result = res
@@ -1228,4 +1282,6 @@ func (m *Manager) finish(j *Job, res *JobResult, err error) {
 		m.metrics.chipsDegraded.Add(int64(res.DegradedChips))
 		m.metrics.faultReroutes.Add(int64(res.FaultReroutes))
 	}
+	// This job may have pushed the terminal set past the retention bound.
+	m.pruneTerminal()
 }

@@ -40,6 +40,17 @@ type managerMetrics struct {
 	faultStalls     atomic.Int64
 	chipsDegraded   atomic.Int64
 	faultReroutes   atomic.Int64
+
+	// Failed durability writes by kind (best-effort degradation is
+	// observable here, not just in one log line per job).
+	persistErrJournal   atomic.Int64
+	persistErrSnapshot  atomic.Int64
+	persistErrSpool     atomic.Int64
+	persistErrRetention atomic.Int64
+
+	// jobsPruned counts terminal jobs whose durable state the retention
+	// policy removed.
+	jobsPruned atomic.Int64
 }
 
 // Metrics renders the service counters in Prometheus text format.
@@ -86,6 +97,20 @@ func (m *Manager) Metrics() string {
 	counter("flashwalker_fault_plane_busy_stalls_total", "Injected plane-busy stalls.", m.metrics.faultStalls.Load())
 	counter("flashwalker_fault_chips_degraded_total", "Chips driven into sticky degradation.", m.metrics.chipsDegraded.Load())
 	counter("flashwalker_fault_reroutes_total", "Walks rerouted from degraded chips to their channel accelerator.", m.metrics.faultReroutes.Load())
+	fmt.Fprintf(&b, "# HELP flashwalker_persist_errors_total Durability writes that failed (best-effort degradation), by kind.\n"+
+		"# TYPE flashwalker_persist_errors_total counter\n")
+	for _, k := range []struct {
+		kind string
+		v    int64
+	}{
+		{persistKindJournal, m.metrics.persistErrJournal.Load()},
+		{persistKindSnapshot, m.metrics.persistErrSnapshot.Load()},
+		{persistKindSpool, m.metrics.persistErrSpool.Load()},
+		{persistKindRetention, m.metrics.persistErrRetention.Load()},
+	} {
+		fmt.Fprintf(&b, "flashwalker_persist_errors_total{kind=%q} %d\n", k.kind, k.v)
+	}
+	counter("flashwalker_jobs_pruned_total", "Terminal jobs whose durable state retention removed.", m.metrics.jobsPruned.Load())
 	gauge("flashwalker_jobs_running", "Jobs currently executing.", m.metrics.running.Load())
 	m.mu.Lock()
 	qLen, qCap := m.fq.len(), m.fq.depth

@@ -8,9 +8,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 
+	"flashwalker/internal/blob"
 	"flashwalker/internal/graph"
 )
 
@@ -24,14 +24,14 @@ import (
 // reader, so a stalled reader pauses eviction (pending grows, bounded by
 // the job's walk count) rather than pausing the engine.
 //
-// When the job is durable (manager has a state dir) every record is also
-// appended to a spool file, <stateDir>/streams/<id>.ndjson, in the exact
-// wire format. The spool serves two purposes: replay for readers that ask
-// for offsets already evicted from the ring, and recovery — after a
-// restart the stream resumes at the spool's contiguous record count, so
-// ?from=seq never observes a gap (the engine flushes the export buffer
-// before every snapshot, hence spooled records always cover the snapshot
-// the job resumes from).
+// When the job is durable (manager has a blob store) every record is also
+// appended to a spool blob, streams/<id>.ndjson, in the exact wire format.
+// The spool serves two purposes: replay for readers that ask for offsets
+// already evicted from the ring, and recovery — after a restart the stream
+// resumes at the spool's contiguous record count, so ?from=seq never
+// observes a gap (the engine flushes the export buffer before every
+// snapshot, hence spooled records always cover the snapshot the job
+// resumes from).
 
 var (
 	// ErrNoStream reports a job kind that does not produce a walk stream.
@@ -269,10 +269,7 @@ func (r *streamReader) detach() {
 	s.fill() // the pin may have been the only thing blocking the overflow
 	s.wake()
 	s.mu.Unlock()
-	if r.sc != nil {
-		r.sc.close()
-		r.sc = nil
-	}
+	r.sc = nil
 }
 
 // Pos is the next seq this reader will be served.
@@ -345,97 +342,102 @@ func (r *streamReader) next(ctx context.Context) ([]WalkRecord, *StreamEnd, erro
 }
 
 // spoolBatch reads up to streamBatch records with r.pos <= Seq < limit
-// from the spool file.
+// from the spool. A scanner reads a point-in-time copy of the spool blob,
+// so when it comes back empty the reader retries once over a fresh copy —
+// records appended since the copy was taken must not be mistaken for
+// records lost to a crash (that misdiagnosis would make the caller resync
+// past them, silently skipping data that exists in the store).
 func (r *streamReader) spoolBatch(limit uint64) ([]WalkRecord, error) {
+	fresh := false
 	if r.sc == nil || r.sc.next > r.pos {
-		if r.sc != nil {
-			r.sc.close()
-		}
-		sc, err := openSpoolScanner(r.s.spool.path)
+		sc, err := openSpoolScanner(r.s.spool.store, r.s.spool.key)
 		if err != nil {
 			return nil, err
 		}
 		r.sc = sc
+		fresh = true
 	}
-	var out []WalkRecord
-	for len(out) < streamBatch {
-		rec, err := r.sc.scan()
-		if err != nil {
-			if err == io.EOF {
+	for {
+		var out []WalkRecord
+		for len(out) < streamBatch {
+			rec, err := r.sc.scan()
+			if err != nil {
+				if err == io.EOF {
+					break
+				}
+				return nil, err
+			}
+			if rec.Seq < r.pos {
+				continue
+			}
+			if rec.Seq >= limit {
+				r.sc.unread(rec)
 				break
 			}
+			out = append(out, rec)
+		}
+		if len(out) > 0 || fresh {
+			return out, nil
+		}
+		sc, err := openSpoolScanner(r.s.spool.store, r.s.spool.key)
+		if err != nil {
 			return nil, err
 		}
-		if rec.Seq < r.pos {
-			continue
-		}
-		if rec.Seq >= limit {
-			r.sc.unread(rec)
-			break
-		}
-		out = append(out, rec)
+		r.sc = sc
+		fresh = true
 	}
-	return out, nil
 }
 
-// spoolFile is the append side of a stream's on-disk NDJSON spool. All
-// methods are called under the owning jobStream's lock.
+// spoolFile is the append side of a stream's NDJSON spool blob. All
+// methods are called under the owning jobStream's lock. Records are
+// encoded into an in-memory buffer and shipped to the store with Append
+// on flush (publish flushes after every admitted batch).
 type spoolFile struct {
-	path  string
-	f     *os.File
-	w     *bufio.Writer
+	store blob.Store
+	key   string
+	buf   bytes.Buffer
 	enc   *json.Encoder
-	count uint64 // contiguous records on disk
+	count uint64 // contiguous records in the store
 	err   error  // first write error; spooling stops after one
+	// onErr reports the first failed store write to the manager's
+	// persist-error accounting (nil-safe).
+	onErr func(error)
 }
 
-// openSpool opens (creating or recovering) the spool at path. Existing
-// contents are verified for seq contiguity from 0 and truncated to the
-// longest valid prefix, so a crash mid-line never leaves a torn record.
-func openSpool(path string) (*spoolFile, error) {
-	count, off, err := countSpool(path)
-	if err != nil {
+// openSpool opens (creating or recovering) the spool blob at key.
+// Existing contents are verified for seq contiguity from 0; a torn or
+// non-contiguous tail left by a crash mid-append is cut back to the
+// longest valid prefix so appends continue gaplessly.
+func openSpool(store blob.Store, key string, onErr func(error)) (*spoolFile, error) {
+	data, err := store.Get(key)
+	if err != nil && !errors.Is(err, blob.ErrNotFound) {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, err
+	count, off := countSpool(data)
+	if int64(len(data)) != off {
+		if err := store.Put(key, data[:off]); err != nil {
+			return nil, err
+		}
 	}
-	if err := f.Truncate(off); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
-	}
-	s := &spoolFile{path: path, f: f, w: bufio.NewWriter(f), count: count}
-	s.enc = json.NewEncoder(s.w)
+	s := &spoolFile{store: store, key: key, count: count, onErr: onErr}
+	s.enc = json.NewEncoder(&s.buf)
 	return s, nil
 }
 
 // countSpool returns the number of contiguous records (Seq 0,1,2,...) at
-// the start of the spool at path, and the byte offset just past the last
-// valid one. A missing file is an empty spool.
-func countSpool(path string) (count uint64, off int64, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, 0, nil
-		}
-		return 0, 0, err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
+// the start of the spool bytes, and the byte offset just past the last
+// valid one. Nil data is an empty spool.
+func countSpool(data []byte) (count uint64, off int64) {
+	br := bufio.NewReader(bytes.NewReader(data))
 	for {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
-			// Torn tail (no newline) or read error: keep the valid prefix.
-			return count, off, nil
+			// Torn tail (no newline): keep the valid prefix.
+			return count, off
 		}
 		var rec WalkRecord
 		if json.Unmarshal(bytes.TrimSpace(line), &rec) != nil || rec.Seq != count {
-			return count, off, nil
+			return count, off
 		}
 		count++
 		off += int64(len(line))
@@ -447,41 +449,49 @@ func (s *spoolFile) append(rec *WalkRecord) {
 		return
 	}
 	if err := s.enc.Encode(rec); err != nil {
-		s.err = err
+		s.fail(err)
 		return
 	}
 	s.count++
 }
 
 func (s *spoolFile) flush() {
-	if s.err == nil && s.w != nil {
-		s.err = s.w.Flush()
+	if s.err != nil || s.buf.Len() == 0 {
+		return
+	}
+	if err := s.store.Append(s.key, s.buf.Bytes()); err != nil {
+		s.fail(err)
+		return
+	}
+	s.buf.Reset()
+}
+
+// fail latches the spool's first error and reports it once.
+func (s *spoolFile) fail(err error) {
+	s.err = err
+	if s.onErr != nil {
+		s.onErr(err)
 	}
 }
 
-func (s *spoolFile) close() {
-	if s.w != nil {
-		s.w.Flush()
-	}
-	if s.f != nil {
-		s.f.Close()
-	}
-}
-
-// spoolScanner reads wire records back out of a spool file in order.
+// spoolScanner reads wire records back out of a point-in-time copy of the
+// spool blob, in order.
 type spoolScanner struct {
-	f      *os.File
 	br     *bufio.Reader
 	next   uint64 // seq of the next record scan will return
 	peeked *WalkRecord
 }
 
-func openSpoolScanner(path string) (*spoolScanner, error) {
-	f, err := os.Open(path)
+func openSpoolScanner(store blob.Store, key string) (*spoolScanner, error) {
+	data, err := store.Get(key)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, blob.ErrNotFound) {
+			data = nil
+		} else {
+			return nil, err
+		}
 	}
-	return &spoolScanner{f: f, br: bufio.NewReader(f)}, nil
+	return &spoolScanner{br: bufio.NewReader(bytes.NewReader(data))}, nil
 }
 
 // scan returns the next record, or io.EOF at the end of the valid prefix.
@@ -508,10 +518,4 @@ func (sc *spoolScanner) scan() (WalkRecord, error) {
 func (sc *spoolScanner) unread(rec WalkRecord) {
 	sc.peeked = &rec
 	sc.next = rec.Seq
-}
-
-func (sc *spoolScanner) close() {
-	if sc.f != nil {
-		sc.f.Close()
-	}
 }

@@ -115,6 +115,22 @@ func Decode(data []byte, wantKind string, v any) error {
 	return nil
 }
 
+// Seal returns the container's trailing SHA-256 checksum after verifying
+// it matches the body. The seal uniquely identifies the encoded state
+// image, so delta snapshots use it to name the exact base they chain to.
+func Seal(data []byte) ([32]byte, error) {
+	var sum [32]byte
+	if len(data) < len(magic)+4+2+8+sha256.Size {
+		return sum, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
+	}
+	body, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if got := sha256.Sum256(body); !bytes.Equal(got[:], tail) {
+		return sum, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	copy(sum[:], tail)
+	return sum, nil
+}
+
 // WriteFileAtomic writes data to path atomically: a temp file in the same
 // directory is written and fsynced, renamed over path, and the directory is
 // fsynced so the rename itself is durable. Readers see either the old file

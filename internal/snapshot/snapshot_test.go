@@ -128,3 +128,27 @@ func TestWriteReadFile(t *testing.T) {
 		t.Fatalf("overwrite not visible: %+v", out)
 	}
 }
+
+func TestSeal(t *testing.T) {
+	data, err := Encode("test-kind", testPayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Seal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sha256.Sum256(data[:len(data)-sha256.Size])
+	if sum != want {
+		t.Fatalf("Seal = %x, want trailing checksum %x", sum, want)
+	}
+	// A corrupt container has no seal.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := Seal(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Seal of corrupt container: %v, want ErrCorrupt", err)
+	}
+	if _, err := Seal(bad[:8]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Seal of truncated container: %v, want ErrCorrupt", err)
+	}
+}
